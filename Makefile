@@ -1,0 +1,35 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench bench-paper study calibrate stability examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-paper:
+	REPRO_BENCH_SCALE=paper pytest benchmarks/ --benchmark-only
+
+study:
+	python tools/run_full_study.py results/full
+
+calibrate:
+	python tools/calibrate.py
+
+stability:
+	python tools/seed_stability.py 5
+
+examples:
+	python examples/quickstart.py
+	python examples/pretraining_bias_probe.py
+	python examples/freshness_vertical_study.py
+	python examples/aeo_vs_seo_audit.py
+	python examples/replication_study.py 2
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,44 @@
+"""Ablation: Gemini's grounding depth.
+
+DESIGN.md models Gemini as a reranker over Google's own results.  The
+depth of that grounded pool is load-bearing for Figure 1: with a shallow
+pool (top-10 only) Gemini can only recombine Google's winners, so its
+domain overlap with Google must rise sharply; the calibrated depth (50)
+gives it room to diverge.
+"""
+
+from repro.engines.gemini import GEMINI_POLICY, GeminiEngine
+from repro.entities.queries import ranking_queries
+from repro.stats import jaccard
+
+
+def _mean_overlap(world, gemini, queries):
+    total = 0.0
+    for query in queries:
+        google_domains = world.google().answer(query).cited_domains()
+        total += jaccard(gemini.answer(query).cited_domains(), google_domains)
+    return total / len(queries)
+
+
+def test_ablation_grounding_depth(benchmark, world, record_result):
+    base = world.engines["Gemini"]
+    shallow = GeminiEngine(
+        world.retriever, base.llm, world.catalog, world.search_engine,
+        policy=GEMINI_POLICY, grounding_depth=10,
+    )
+    queries = ranking_queries(world.catalog, count=40, seed=8, id_prefix="gd")
+
+    def run_both():
+        return (
+            _mean_overlap(world, base, queries),
+            _mean_overlap(world, shallow, queries),
+        )
+
+    deep, shallow_overlap = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    record_result(
+        "ablation_grounding",
+        "Ablation — Gemini grounding depth (mean overlap with Google)\n"
+        f"  depth 50 (calibrated): {deep:.1%}\n"
+        f"  depth 10 (shallow):    {shallow_overlap:.1%}",
+    )
+    assert shallow_overlap > deep + 0.1

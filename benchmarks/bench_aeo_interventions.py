@@ -1,0 +1,44 @@
+"""Benchmark: the AEO intervention lab (Section 3.4 operationalized).
+
+Measures the cost of a counterfactual campaign evaluation and asserts
+the paper-aligned outcome: fresh earned placements lift a niche brand's
+AI citation coverage more than stale or owned-media placements.
+"""
+
+from repro.aeo import ContentPlan, InterventionLab
+from repro.webgraph.domains import SourceType
+
+TARGET = "smartwatches:coros"
+
+
+def test_aeo_campaign_comparison(benchmark, world, record_result):
+    lab = InterventionLab(world)
+    plans = [
+        ContentPlan(
+            name="fresh earned", entity_id=TARGET,
+            source_type=SourceType.EARNED, page_count=5, age_days=7,
+        ),
+        ContentPlan(
+            name="stale earned", entity_id=TARGET,
+            source_type=SourceType.EARNED, page_count=5, age_days=500,
+        ),
+        ContentPlan(
+            name="brand pages", entity_id=TARGET,
+            source_type=SourceType.BRAND, page_count=5, age_days=7,
+        ),
+    ]
+    outcomes = benchmark.pedantic(
+        lab.evaluate, args=(plans,), kwargs={"query_count": 20, "query_seed": 1},
+        rounds=1, iterations=1,
+    )
+    lines = ["AEO campaign comparison (niche brand: Coros)"]
+    for outcome in outcomes:
+        lines.append(
+            f"  {outcome.plan.name:<14} AI lift {outcome.ai_citation_lift():+.1%}  "
+            f"SERP lift {outcome.serp_lift():+.1%}"
+        )
+    record_result("aeo_interventions", "\n".join(lines))
+
+    by_name = {o.plan.name: o for o in outcomes}
+    assert by_name["fresh earned"].ai_citation_lift() >= by_name["stale earned"].ai_citation_lift()
+    assert by_name["fresh earned"].ai_citation_lift() > 0

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 2 (overlap on popular vs niche entities).
+
+Paper shape: niche queries raise AI-vs-Google overlap by a few points for
+most models while GPT-4o barely moves and stays lowest; the unique-domain
+ratio declines (74.2% -> 68.6%) and cross-model overlap rises.
+"""
+
+from repro.core.report import render_fig2
+from repro.engines.registry import AI_ENGINE_NAMES
+
+
+def test_fig2_popular_niche(benchmark, study, record_result):
+    result = benchmark.pedantic(
+        study.domain_overlap_popular_niche, rounds=1, iterations=1
+    )
+    record_result("fig2", render_fig2(result))
+
+    raised = sum(result.overlap_shift(s) > 0 for s in AI_ENGINE_NAMES)
+    assert raised >= 3
+    assert (
+        result.vs_google_niche.unique_domain_ratio
+        < result.vs_google_popular.unique_domain_ratio
+    )
+    assert (
+        result.vs_google_niche.cross_model_overlap
+        > result.vs_google_popular.cross_model_overlap
+    )

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 3 (source typology by intent and model).
+
+Paper shape: Google balanced (41/34/26 earned/social/brand) and stable
+across intents; Claude the most earned-concentrated with ~no social; all
+AI engines swing sharply toward brand for transactional intent.
+"""
+
+from repro.core.report import render_fig3
+from repro.engines.registry import AI_ENGINE_NAMES
+from repro.entities.intents import Intent
+from repro.webgraph.domains import SourceType
+
+
+def test_fig3_typology(benchmark, study, record_result):
+    result = benchmark.pedantic(study.source_typology, rounds=1, iterations=1)
+    record_result("fig3", render_fig3(result))
+
+    assert result.share("Google", SourceType.SOCIAL) > 0.15
+    claude_earned = result.share("Claude", SourceType.EARNED)
+    assert claude_earned == max(
+        result.share(s, SourceType.EARNED) for s in AI_ENGINE_NAMES
+    )
+    for system in AI_ENGINE_NAMES:
+        assert result.intent_share(
+            Intent.TRANSACTIONAL, system, SourceType.BRAND
+        ) > result.intent_share(Intent.CONSIDERATION, system, SourceType.BRAND)

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 4 (article-age distributions).
+
+Paper shape: AI engines cite newer pages than Google in both verticals
+(electronics medians 62-90 days vs Google 130; automotive 148-217 vs
+493); automotive runs several times older than electronics throughout.
+"""
+
+from repro.core.report import render_fig4
+
+
+def test_fig4_freshness(benchmark, study, record_result):
+    result = benchmark.pedantic(study.freshness, rounds=1, iterations=1)
+    record_result("fig4", render_fig4(result))
+
+    for report in (result.electronics, result.automotive):
+        google = report.median_age_days["Google"]
+        for system in ("GPT-4o", "Claude", "Perplexity"):
+            assert report.median_age_days[system] < google
+    for system in ("Google", "Claude", "GPT-4o", "Perplexity"):
+        assert (
+            result.automotive.median_age_days[system]
+            > result.electronics.median_age_days[system]
+        )

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table 3 (citation-miss rates on SUV queries).
+
+Paper row: Toyota .06, Honda .03, Kia .10, Chevrolet .26, Cadillac .58,
+Infiniti .73 — mainstream makes are consistently evidence-supported while
+peripheral ones frequently appear without citations; overall, 16% of
+ranked entities lacked snippet support.
+"""
+
+from repro.core.report import render_table3
+
+
+def test_table3_citation_miss(benchmark, study, record_result):
+    result = benchmark.pedantic(study.citation_misses, rounds=1, iterations=1)
+    record_result("table3", render_table3(result))
+
+    assert result.representative["Toyota"] < 0.15
+    assert result.representative["Honda"] < 0.15
+    mainstream = (
+        result.representative["Toyota"] + result.representative["Honda"]
+    ) / 2
+    peripheral = (
+        result.representative["Cadillac"] + result.representative["Infiniti"]
+    ) / 2
+    assert peripheral > mainstream + 0.25
+    assert 0.05 <= result.overall_miss_rate <= 0.35

@@ -1,0 +1,65 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper artifact (figure or table) and saves
+the rendered rows/series under ``benchmarks/results/`` so a
+``pytest benchmarks/ --benchmark-only`` run leaves the reproduced numbers
+on disk next to the timing data.
+
+Scale: ``REPRO_BENCH_SCALE=paper`` runs the paper's full workload sizes
+(1,000 ranking queries, 10 perturbation runs, ...); the default ``fast``
+profile uses reduced sizes that preserve every shape conclusion and keep
+the whole suite within a couple of minutes.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.core import StudyConfig, World
+from repro.core.config import WorkloadSizes
+from repro.core.study import ComparativeStudy
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+FAST_SIZES = WorkloadSizes(
+    ranking_queries=250,
+    comparison_popular=50,
+    comparison_niche=50,
+    intent_queries=150,
+    freshness_queries_per_vertical=30,
+    perturbation_queries=16,
+    perturbation_runs=8,
+    pairwise_queries=8,
+    citation_queries=60,
+)
+
+PAPER_SIZES = WorkloadSizes()
+
+
+def _sizes() -> WorkloadSizes:
+    if os.environ.get("REPRO_BENCH_SCALE", "fast") == "paper":
+        return PAPER_SIZES
+    return FAST_SIZES
+
+
+@pytest.fixture(scope="session")
+def world():
+    return World.build(StudyConfig(seed=7, sizes=_sizes()))
+
+
+@pytest.fixture(scope="session")
+def study(world):
+    return ComparativeStudy(world)
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Writer that persists a rendered artifact under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(experiment_id: str, text: str) -> None:
+        (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return write

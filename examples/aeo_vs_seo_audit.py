@@ -1,0 +1,103 @@
+"""AEO-vs-SEO audit: where does a brand surface — web search or AI search?
+
+Section 3.4 of the paper argues that optimizing for answer engines
+(AEO/GEO) is a different game from SEO: freshness and earned-media
+presence matter more, and once content is retrieved, its influence
+depends on whether the entity is popular (priors dominate) or niche
+(context dominates).
+
+This example uses the :mod:`repro.aeo` toolkit to:
+
+1. audit Garmin (popular) and Coros (niche) across both ecosystems,
+2. run *causal* content-campaign experiments for Coros — fresh earned
+   reviews vs. stale reviews vs. brand pages vs. social threads — and
+   measure the AI-citation lift of each,
+3. dissect Coros's query space by segment (informational / consideration
+   / transactional / ranking / comparison) to find the weak spots, and
+4. emit a ranked action plan backed by the measured lifts.
+
+Run:  python examples/aeo_vs_seo_audit.py
+"""
+
+from repro import StudyConfig, World
+from repro.aeo import (
+    BrandAuditor,
+    ContentPlan,
+    InterventionLab,
+    QueryPatternAnalyzer,
+    recommend,
+)
+from repro.webgraph.domains import SourceType
+
+POPULAR = "smartwatches:garmin"
+NICHE = "smartwatches:coros"
+
+
+def show_audit(audit) -> None:
+    kind = "popular" if audit.is_popular else "niche"
+    print(f"\n=== {audit.entity_name} ({kind}) over {audit.query_count} queries ===")
+    print(f"  Google SERP coverage:      {audit.serp_coverage:.0%}")
+    print(f"  AI citation coverage:      {audit.mean_ai_citation_coverage():.0%} (mean)")
+    for engine in sorted(audit.ai_citation_coverage):
+        cited = audit.ai_citation_coverage[engine]
+        ranked = audit.ai_ranking_presence[engine]
+        prior = audit.prior_injected_share[engine]
+        print(
+            f"    {engine:<11} cited {cited:.0%}  ranked {ranked:.0%}  "
+            f"prior-injected {prior:.0%}"
+        )
+    gap = audit.visibility_gap()
+    where = "AI search" if gap > 0 else "traditional search"
+    print(f"  visibility gap: {gap:+.0%} (stronger in {where})")
+
+
+def main() -> None:
+    world = World.build(StudyConfig(seed=7))
+    auditor = BrandAuditor(world)
+
+    # 1. Audits.
+    popular_audit = auditor.audit(POPULAR, auditor.default_queries(POPULAR, 25, 42))
+    niche_audit = auditor.audit(NICHE, auditor.default_queries(NICHE, 25, 42))
+    show_audit(popular_audit)
+    show_audit(niche_audit)
+
+    # 2. Causal campaign tests for the niche brand.
+    print(f"\n=== campaign experiments for {niche_audit.entity_name} ===")
+    lab = InterventionLab(world)
+    plans = [
+        ContentPlan(
+            name="fresh earned reviews", entity_id=NICHE,
+            source_type=SourceType.EARNED, page_count=5, age_days=7,
+        ),
+        ContentPlan(
+            name="stale earned reviews", entity_id=NICHE,
+            source_type=SourceType.EARNED, page_count=5, age_days=500,
+        ),
+        ContentPlan(
+            name="brand product pages", entity_id=NICHE,
+            source_type=SourceType.BRAND, page_count=5, age_days=7,
+        ),
+        ContentPlan(
+            name="social threads", entity_id=NICHE,
+            source_type=SourceType.SOCIAL, page_count=5, age_days=7,
+        ),
+    ]
+    outcomes = lab.evaluate(plans, query_count=25, query_seed=42)
+    for outcome in outcomes:
+        print(
+            f"  {outcome.plan.name:<22} AI citation lift {outcome.ai_citation_lift():+.1%}  "
+            f"SERP lift {outcome.serp_lift():+.1%}"
+        )
+
+    # 3. Dissect the query space: where exactly is the brand weak?
+    print(f"\n=== query-pattern dissection for {niche_audit.entity_name} ===")
+    pattern = QueryPatternAnalyzer(world).analyze(NICHE, queries_per_segment=10)
+    print(pattern.render())
+
+    # 4. The plan.
+    print()
+    print(recommend(niche_audit, outcomes).render())
+
+
+if __name__ == "__main__":
+    main()

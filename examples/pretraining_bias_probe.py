@@ -1,0 +1,102 @@
+"""Pre-training bias probe: Section 3's experiment on two live queries.
+
+Reruns the paper's perturbation battery on one popular query ("best SUVs
+to buy in 2025") and one niche query ("top family law firms in Toronto"):
+snippet shuffle under normal and strict grounding, entity-swap injection,
+pairwise-vs-holistic consistency, and the citation log.
+
+Run:  python examples/pretraining_bias_probe.py
+"""
+
+from repro import StudyConfig, World, WorkloadSizes
+from repro.analysis.pairwise import pairwise_consistency
+from repro.analysis.perturbations import PerturbationKind, sensitivity
+from repro.core.study import ComparativeStudy
+from repro.entities.queries import PopularityClass, Query, QueryKind
+from repro.llm.model import GroundingMode
+
+
+def probe(world: World, study: ComparativeStudy, query: Query) -> None:
+    llm = world.reference_llm
+    context = study._evidence_context(query)
+    candidates = list(query.entities)
+    label = query.popularity_class.value if query.popularity_class else "?"
+    print(f"\n=== {query.text}  [{label}; {len(candidates)} candidates, "
+          f"{len(context)} snippets] ===")
+
+    # Confidence structure of the candidates.
+    confidences = [llm.knowledge.confidence(e) for e in candidates]
+    print(f"  prior confidence: min {min(confidences):.2f} "
+          f"mean {sum(confidences)/len(confidences):.2f} max {max(confidences):.2f}")
+
+    # Perturbation battery.
+    for kind, mode, name in (
+        (PerturbationKind.SNIPPET_SHUFFLE, GroundingMode.NORMAL, "SS (normal)"),
+        (PerturbationKind.SNIPPET_SHUFFLE, GroundingMode.STRICT, "SS (strict)"),
+        (PerturbationKind.ENTITY_SWAP, GroundingMode.NORMAL, "ESI"),
+    ):
+        result = sensitivity(
+            llm, query.text, candidates, context, kind,
+            mode=mode, runs=10, seed=0, catalog=world.catalog,
+        )
+        print(f"  {name:<12} delta_avg = {result.delta_avg:.2f}")
+
+    # Pairwise consistency.
+    for mode in (GroundingMode.NORMAL, GroundingMode.STRICT):
+        consistency = pairwise_consistency(
+            llm, query.text, candidates, context, mode
+        )
+        print(f"  tau ({mode.value:<6}) = {consistency.tau:.3f}")
+
+    # Citation log.
+    answer = llm.rank_entities(
+        query.text, candidates, context, top_k=min(10, len(candidates))
+    )
+    print("  ranking with citations:")
+    for position, entity_id in enumerate(answer.ranking, start=1):
+        name = world.catalog.get(entity_id).name
+        urls = answer.citations.get(entity_id, ())
+        marker = f"({len(urls)} sources)" if urls else "(NO SNIPPET SUPPORT)"
+        print(f"    {position:2d}. {name:<28} {marker}")
+
+
+def main() -> None:
+    sizes = WorkloadSizes(
+        ranking_queries=10, comparison_popular=2, comparison_niche=2,
+        intent_queries=6, freshness_queries_per_vertical=2,
+        perturbation_queries=2, perturbation_runs=2,
+        pairwise_queries=2, citation_queries=2,
+    )
+    world = World.build(StudyConfig(seed=7, sizes=sizes))
+    study = ComparativeStudy(world)
+
+    popular = Query(
+        id="probe-pop",
+        text="best SUVs to buy in 2025",
+        kind=QueryKind.RANKING,
+        vertical="suvs",
+        entities=tuple(e.id for e in world.catalog.popular("suvs")),
+        popularity_class=PopularityClass.POPULAR,
+    )
+    niche = Query(
+        id="probe-nic",
+        text="top 10 law firms for family law in Toronto",
+        kind=QueryKind.RANKING,
+        vertical="family_law_toronto",
+        entities=tuple(e.id for e in world.catalog.in_vertical("family_law_toronto")),
+        popularity_class=PopularityClass.NICHE,
+    )
+
+    probe(world, study, popular)
+    probe(world, study, niche)
+
+    print(
+        "\nReading: the popular query's ranking barely reacts to evidence "
+        "manipulation (priors dominate; uncited entities appear anyway), "
+        "while the niche query's ranking is rewritten by it (retrieval "
+        "constructs, rather than confirms, the answer)."
+    )
+
+
+if __name__ == "__main__":
+    main()

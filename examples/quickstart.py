@@ -1,0 +1,43 @@
+"""Quickstart: build a world, compare the engines, rerun a paper figure.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ComparativeStudy, StudyConfig, World, WorkloadSizes
+from repro.core.report import render_fig1
+from repro.entities import ranking_queries
+
+
+def main() -> None:
+    # One seed reproduces everything: the synthetic web, the engines'
+    # pre-training priors, and every workload.
+    sizes = WorkloadSizes(
+        ranking_queries=150,
+        comparison_popular=30, comparison_niche=30,
+        intent_queries=60, freshness_queries_per_vertical=10,
+        perturbation_queries=6, perturbation_runs=4,
+        pairwise_queries=4, citation_queries=20,
+    )
+    world = World.build(StudyConfig(seed=7, sizes=sizes))
+    print(
+        f"world: {len(world.corpus)} pages across "
+        f"{len(world.corpus.domains())} domains, "
+        f"{len(world.catalog)} entities, {len(world.engines)} engines\n"
+    )
+
+    # Ask every system the same question and compare what they cite.
+    query = ranking_queries(world.catalog, verticals=("smartphones",), count=1, seed=1)[0]
+    print(f"query: {query.text}\n")
+    for name, engine in world.engines.items():
+        answer = engine.answer(query)
+        domains = ", ".join(sorted(answer.cited_domains())) or "(no citations)"
+        print(f"{name:<11} cites: {domains}")
+
+    # Rerun Figure 1 end to end.
+    study = ComparativeStudy(world)
+    print()
+    print(render_fig1(study.domain_overlap_ranking()))
+
+
+if __name__ == "__main__":
+    main()

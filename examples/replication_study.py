@@ -1,0 +1,39 @@
+"""Replication study: do the findings survive a change of world?
+
+Every run of this reproduction is deterministic per seed — which means a
+skeptic should ask whether the paper-shaped results are a property of
+the mechanisms or of one lucky synthetic web.  This example reruns the
+headline metrics across several independently-generated worlds and
+reports, for each paper claim, in how many replicates it held, plus
+bootstrap confidence intervals for the underlying effect sizes.
+
+Run:  python examples/replication_study.py [n_seeds]
+"""
+
+import sys
+
+from repro.core.replication import replicate
+
+
+def main() -> None:
+    n_seeds = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    seeds = list(range(101, 101 + n_seeds))
+    print(f"building {n_seeds} independent worlds (seeds {seeds}) ...\n")
+    report = replicate(seeds)
+    print(report.render())
+    print()
+
+    fragile = [
+        name for name in report.claim_counts
+        if report.claim_rate(name) < 1.0
+    ]
+    if fragile:
+        print("claims that did NOT hold in every replicate:")
+        for name in fragile:
+            print(f"  - {name} ({report.claim_rate(name):.0%})")
+    else:
+        print("every claim held in every replicate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Reproduction of "Navigating the Shift: A Comparative Analysis of Web
+Search and Generative AI Response Generation" (EDBT 2026).
+
+The package simulates the paper's entire apparatus — a synthetic web, a
+traditional search engine, four generative answer engines with
+pre-training priors — and reruns every experiment behind the paper's
+figures and tables.
+
+Quickstart::
+
+    from repro import ComparativeStudy, StudyConfig, World
+
+    world = World.build(StudyConfig(seed=7))
+    study = ComparativeStudy(world)
+    print(study.domain_overlap_ranking().mean_overlap)   # Figure 1
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from repro.core.config import StudyConfig, WorkloadSizes
+from repro.core.experiments import EXPERIMENTS, run_experiment
+from repro.core.study import ComparativeStudy
+from repro.core.world import World
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ComparativeStudy",
+    "EXPERIMENTS",
+    "StudyConfig",
+    "WorkloadSizes",
+    "World",
+    "run_experiment",
+    "__version__",
+]

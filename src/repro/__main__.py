@@ -1,0 +1,240 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``list`` — show the experiment registry (paper artifact, workload).
+* ``run [ids...]`` — run experiments and print the paper-style tables;
+  ``--json PATH`` additionally archives the raw results.
+* ``calibration`` — print the calibration index (what each fitted
+  parameter is constrained by).
+* ``world`` — build a world and print its inventory.
+* ``replicate --seeds 1 2 3`` — rerun the headline metrics across seeds
+  and report claim stability with bootstrap CIs.
+* ``snapshot PATH`` — archive the world's corpus as a JSON-lines file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.core.calibration import calibration_report
+from repro.core.config import StudyConfig, WorkloadSizes
+from repro.core.experiments import EXPERIMENTS, run_experiment
+from repro.core.export import results_to_json
+from repro.core.world import World
+
+FAST_SIZES = WorkloadSizes(
+    ranking_queries=250,
+    comparison_popular=50,
+    comparison_niche=50,
+    intent_queries=150,
+    freshness_queries_per_vertical=30,
+    perturbation_queries=16,
+    perturbation_runs=8,
+    pairwise_queries=8,
+    citation_queries=60,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Navigating the Shift' (EDBT 2026)",
+    )
+    study_options = argparse.ArgumentParser(add_help=False)
+    study_options.add_argument(
+        "--seed", type=int, default=7, help="study seed (default 7)"
+    )
+    study_options.add_argument(
+        "--scale",
+        choices=("fast", "paper"),
+        default="fast",
+        help="workload sizes: reduced 'fast' profile or the paper's full sizes",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the experiment registry")
+    sub.add_parser("calibration", help="print the calibration index")
+    sub.add_parser(
+        "world", parents=[study_options], help="build a world and print its inventory"
+    )
+
+    run = sub.add_parser("run", parents=[study_options], help="run experiments")
+    run.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help="experiment ids (default: all)",
+    )
+    run.add_argument("--json", type=pathlib.Path, help="archive raw results as JSON")
+
+    replicate_cmd = sub.add_parser(
+        "replicate", help="rerun headline metrics across seeds"
+    )
+    replicate_cmd.add_argument(
+        "--seeds", type=int, nargs="+", default=[1, 2, 3], help="seeds to replicate"
+    )
+
+    snapshot = sub.add_parser(
+        "snapshot", parents=[study_options], help="archive the corpus"
+    )
+    snapshot.add_argument("path", type=pathlib.Path, help="snapshot destination")
+
+    ask = sub.add_parser(
+        "ask", parents=[study_options],
+        help="pose one query to all five engines and compare the answers",
+    )
+    ask.add_argument("query", help="the query text")
+    ask.add_argument(
+        "--vertical",
+        default=None,
+        help="vertical id for entity ranking (default: inferred from the query)",
+    )
+    ask.add_argument(
+        "--full", action="store_true", help="print full answer texts, not just citations"
+    )
+    return parser
+
+
+def _config(args: argparse.Namespace) -> StudyConfig:
+    sizes = WorkloadSizes() if args.scale == "paper" else FAST_SIZES
+    return StudyConfig(seed=args.seed, sizes=sizes)
+
+
+def _cmd_list() -> int:
+    for spec in EXPERIMENTS.values():
+        print(f"{spec.id:<8} {spec.paper_artifact:<9} {spec.description}")
+        print(f"{'':8} workload: {spec.workload}")
+    return 0
+
+
+def _cmd_world(args: argparse.Namespace) -> int:
+    start = time.time()
+    world = World.build(_config(args))
+    elapsed = time.time() - start
+    print(f"built in {elapsed:.1f}s (seed {args.seed})")
+    print(f"  pages:    {len(world.corpus)}")
+    print(f"  domains:  {len(world.corpus.domains())}")
+    print(f"  entities: {len(world.catalog)}")
+    print(f"  engines:  {', '.join(world.engines)}")
+    print(f"  link graph: {len(world.corpus.link_graph)} nodes, "
+          f"{world.corpus.link_graph.edge_count()} edges")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    wanted = args.experiments or list(EXPERIMENTS)
+    unknown = [e for e in wanted if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    world = World.build(_config(args))
+    results = {}
+    for experiment_id in wanted:
+        start = time.time()
+        result, text = run_experiment(experiment_id, world)
+        results[experiment_id] = result
+        print(f"\n[{experiment_id}] ({time.time() - start:.1f}s)")
+        print(text)
+    if args.json:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(results_to_json(results))
+        print(f"\nraw results written to {args.json}")
+    return 0
+
+
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    from repro.core.replication import replicate
+
+    report = replicate(args.seeds)
+    print(report.render())
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.webgraph.serialize import dump_corpus
+
+    world = World.build(_config(args))
+    dump_corpus(world.corpus, args.path)
+    print(
+        f"archived {len(world.corpus)} pages / "
+        f"{world.corpus.link_graph.edge_count()} edges to {args.path}"
+    )
+    return 0
+
+
+def _infer_vertical(world: World, query_text: str) -> str | None:
+    """Pick the vertical whose vocabulary best matches the query."""
+    from repro.entities.verticals import all_verticals
+    from repro.search.tokenize import tokenize
+
+    query_terms = set(tokenize(query_text))
+    best, best_score = None, 0
+    for vertical in all_verticals():
+        vocabulary = set()
+        for keyword in vertical.keywords + (vertical.noun,):
+            vocabulary.update(tokenize(keyword))
+        score = len(query_terms & vocabulary)
+        if score > best_score:
+            best, best_score = vertical.id, score
+    return best
+
+
+def _cmd_ask(args: argparse.Namespace) -> int:
+    from repro.entities.queries import Query, QueryKind
+
+    world = World.build(_config(args))
+    vertical = args.vertical or _infer_vertical(world, args.query)
+    if vertical is None:
+        print("could not infer a vertical; pass --vertical", file=sys.stderr)
+        return 2
+    candidates = tuple(e.id for e in world.catalog.in_vertical(vertical))
+    query = Query(
+        id="ask",
+        text=args.query,
+        kind=QueryKind.RANKING if candidates else QueryKind.INTENT,
+        vertical=vertical,
+        entities=candidates,
+    )
+    print(f"query: {args.query}  (vertical: {vertical})\n")
+    for name, engine in world.engines.items():
+        answer = engine.answer(query)
+        print(f"=== {name} ===")
+        if args.full:
+            print(answer.text)
+        else:
+            if answer.ranked_entities:
+                names = [
+                    world.catalog.get(e).name for e in answer.ranked_entities[:5]
+                ]
+                print(f"  top picks: {', '.join(names)}")
+            domains = sorted(answer.cited_domains())
+            print(f"  cites: {', '.join(domains) if domains else '(no citations)'}")
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "calibration":
+        print(calibration_report())
+        return 0
+    if args.command == "world":
+        return _cmd_world(args)
+    if args.command == "replicate":
+        return _cmd_replicate(args)
+    if args.command == "snapshot":
+        return _cmd_snapshot(args)
+    if args.command == "ask":
+        return _cmd_ask(args)
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

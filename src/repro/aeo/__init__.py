@@ -1,0 +1,42 @@
+"""Answer Engine Optimization toolkit (the paper's Section 3.4,
+operationalized).
+
+The paper closes with observations on AEO/GEO: once a document reaches
+the context window, its position matters little for popular entities but
+a lot for niche ones; content freshness is crucial; earned and owned
+media carry more AI-search presence than social.  This package turns
+those observations into tooling a content strategist could run:
+
+* :mod:`repro.aeo.audit` — measure a brand's presence across both
+  ecosystems (Google SERPs vs. AI citations and synthesized rankings),
+* :mod:`repro.aeo.interventions` — *causal* what-if experiments: inject a
+  content plan (N pages of a given source type, freshness and stance)
+  into a copy of the web and re-measure presence,
+* :mod:`repro.aeo.recommendations` — rank the levers and emit an action
+  plan.
+
+Because the whole ecosystem is simulated, interventions here are true
+counterfactuals — the one experiment the paper's live-API methodology
+cannot run.
+"""
+
+from repro.aeo.audit import BrandAuditor, PresenceAudit
+from repro.aeo.interventions import (
+    ContentPlan,
+    InterventionLab,
+    InterventionOutcome,
+)
+from repro.aeo.patterns import PatternReport, QueryPatternAnalyzer
+from repro.aeo.recommendations import ActionPlan, recommend
+
+__all__ = [
+    "ActionPlan",
+    "BrandAuditor",
+    "ContentPlan",
+    "InterventionLab",
+    "InterventionOutcome",
+    "PatternReport",
+    "PresenceAudit",
+    "QueryPatternAnalyzer",
+    "recommend",
+]

@@ -1,0 +1,161 @@
+"""Brand presence auditing across the two information ecosystems.
+
+For a target entity and a query workload, the auditor measures:
+
+* **SERP coverage** — fraction of queries where Google's top-10 contains
+  the brand's own domain or a page covering the entity,
+* **AI citation coverage** — the same, per generative engine,
+* **AI ranking presence** — fraction of queries where the engine's
+  synthesized answer *ranks* the entity, split into evidence-backed and
+  prior-injected appearances (the Section 3 distinction),
+* **mean cited-source age** — the freshness of the sources through which
+  the entity surfaces, per system.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.world import World
+from repro.engines.base import Answer
+from repro.entities.queries import Query, ranking_queries
+
+__all__ = ["BrandAuditor", "PresenceAudit"]
+
+
+@dataclass(frozen=True)
+class PresenceAudit:
+    """One entity's presence measurements over a workload."""
+
+    entity_id: str
+    entity_name: str
+    is_popular: bool
+    query_count: int
+    serp_coverage: float
+    ai_citation_coverage: dict[str, float]
+    ai_ranking_presence: dict[str, float]
+    prior_injected_share: dict[str, float]
+    mean_source_age_days: dict[str, float]
+
+    def mean_ai_citation_coverage(self) -> float:
+        """Citation coverage averaged over the generative engines."""
+        values = list(self.ai_citation_coverage.values())
+        return sum(values) / len(values) if values else 0.0
+
+    def visibility_gap(self) -> float:
+        """AI-citation coverage minus SERP coverage.
+
+        Positive: the brand is more visible to answer engines than to
+        traditional search; negative: it lives on SEO presence.
+        """
+        return self.mean_ai_citation_coverage() - self.serp_coverage
+
+
+class BrandAuditor:
+    """Runs presence audits against a :class:`World`."""
+
+    def __init__(self, world: World) -> None:
+        self._world = world
+
+    def default_queries(
+        self, entity_id: str, count: int = 25, seed: int = 0
+    ) -> list[Query]:
+        """Ranking queries in the entity's vertical.
+
+        The candidate pool is widened to the vertical's *entire* entity
+        set — an audit must let the engines consider the audited brand,
+        however niche, or ranking presence would be zero by construction.
+        """
+        vertical = self._world.catalog.get(entity_id).vertical
+        full_pool = tuple(e.id for e in self._world.catalog.in_vertical(vertical))
+        queries = ranking_queries(
+            self._world.catalog,
+            verticals=(vertical,),
+            count=count,
+            seed=seed,
+            id_prefix=f"audit-{entity_id.replace(':', '-')}",
+        )
+        return [
+            dataclasses.replace(query, entities=full_pool) for query in queries
+        ]
+
+    def _covers(self, answer: Answer, entity_id: str, brand_domain: str | None) -> bool:
+        for citation in answer.citations:
+            if brand_domain is not None and citation.domain == brand_domain:
+                return True
+            if citation.page is not None and citation.page.mentions(entity_id):
+                return True
+        return False
+
+    def _source_ages(self, answer: Answer) -> list[int]:
+        clock = self._world.corpus.clock
+        return [
+            clock.age_days(citation.page.published)
+            for citation in answer.citations
+            if citation.page is not None
+        ]
+
+    def audit(
+        self,
+        entity_id: str,
+        queries: Sequence[Query] | None = None,
+    ) -> PresenceAudit:
+        """Audit one entity over ``queries`` (default: its vertical's)."""
+        entity = self._world.catalog.get(entity_id)
+        workload = list(queries) if queries is not None else self.default_queries(entity_id)
+        if not workload:
+            raise ValueError("audit requires at least one query")
+
+        serp_hits = 0
+        serp_ages: list[int] = []
+        citation_hits = {name: 0 for name in self._world.ai_engines()}
+        ranking_hits = {name: 0 for name in self._world.ai_engines()}
+        uncited_hits = {name: 0 for name in self._world.ai_engines()}
+        ai_ages: dict[str, list[int]] = {name: [] for name in self._world.ai_engines()}
+
+        for query in workload:
+            google_answer = self._world.google().answer(query)
+            if self._covers(google_answer, entity_id, entity.brand_domain):
+                serp_hits += 1
+                serp_ages.extend(self._source_ages(google_answer))
+            for name, engine in self._world.ai_engines().items():
+                answer = engine.answer(query)
+                covered = self._covers(answer, entity_id, entity.brand_domain)
+                if covered:
+                    citation_hits[name] += 1
+                    ai_ages[name].extend(self._source_ages(answer))
+                if entity_id in answer.ranked_entities:
+                    ranking_hits[name] += 1
+                    if not covered:
+                        uncited_hits[name] += 1
+
+        total = len(workload)
+
+        def rate(counts: dict[str, int]) -> dict[str, float]:
+            return {name: counts[name] / total for name in counts}
+
+        mean_ages = {
+            name: (sum(ages) / len(ages) if ages else float("nan"))
+            for name, ages in ai_ages.items()
+        }
+        mean_ages["Google"] = (
+            sum(serp_ages) / len(serp_ages) if serp_ages else float("nan")
+        )
+        prior_share = {}
+        for name in ranking_hits:
+            ranked = ranking_hits[name]
+            prior_share[name] = uncited_hits[name] / ranked if ranked else 0.0
+
+        return PresenceAudit(
+            entity_id=entity_id,
+            entity_name=entity.name,
+            is_popular=entity.is_popular,
+            query_count=total,
+            serp_coverage=serp_hits / total,
+            ai_citation_coverage=rate(citation_hits),
+            ai_ranking_presence=rate(ranking_hits),
+            prior_injected_share=prior_share,
+            mean_source_age_days=mean_ages,
+        )

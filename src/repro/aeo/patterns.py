@@ -1,0 +1,188 @@
+"""Query-pattern dissection: presence by query segment.
+
+Section 3.4: "developing analytical strategies that dissect query
+patterns to generate actionable content plans becomes vital".  A brand's
+query space is not uniform — its AI-search presence can differ wildly
+between informational, consideration, transactional, ranking and
+comparison queries, and the right content plan targets the weak
+segments.  :class:`QueryPatternAnalyzer` builds an entity-anchored query
+portfolio per segment and audits each.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+
+from repro.aeo.audit import BrandAuditor, PresenceAudit
+from repro.core.world import World
+from repro.entities.intents import INTENT_TEMPLATES, Intent
+from repro.entities.queries import Query, QueryKind, ranking_queries
+from repro.entities.verticals import get_vertical
+
+__all__ = ["PatternReport", "QueryPatternAnalyzer", "SEGMENTS"]
+
+SEGMENTS = (
+    "informational",
+    "consideration",
+    "transactional",
+    "ranking",
+    "comparison",
+)
+
+
+@dataclass(frozen=True)
+class PatternReport:
+    """Per-segment presence for one entity."""
+
+    entity_id: str
+    entity_name: str
+    segments: dict[str, PresenceAudit]
+
+    def ai_presence_by_segment(self) -> dict[str, float]:
+        """Segment -> mean AI citation coverage."""
+        return {
+            name: audit.mean_ai_citation_coverage()
+            for name, audit in self.segments.items()
+        }
+
+    def weakest_segments(self, k: int = 2) -> list[str]:
+        """The ``k`` segments with the lowest AI citation coverage."""
+        ranked = sorted(
+            self.ai_presence_by_segment().items(), key=lambda kv: kv[1]
+        )
+        return [name for name, __ in ranked[:k]]
+
+    def render(self) -> str:
+        """Human-readable segment table."""
+        lines = [f"Query-pattern presence for {self.entity_name}:"]
+        lines.append(
+            f"  {'segment':<15} {'SERP':>7} {'AI cite':>8} {'AI rank':>8}"
+        )
+        for name in SEGMENTS:
+            if name not in self.segments:
+                continue
+            audit = self.segments[name]
+            ranking = (
+                sum(audit.ai_ranking_presence.values())
+                / max(1, len(audit.ai_ranking_presence))
+            )
+            lines.append(
+                f"  {name:<15} {audit.serp_coverage:>6.0%} "
+                f"{audit.mean_ai_citation_coverage():>7.0%} {ranking:>7.0%}"
+            )
+        weakest = ", ".join(self.weakest_segments())
+        lines.append(f"  weakest AI segments: {weakest}")
+        return "\n".join(lines)
+
+
+class QueryPatternAnalyzer:
+    """Builds and audits an entity's segmented query portfolio."""
+
+    def __init__(self, world: World) -> None:
+        self._world = world
+        self._auditor = BrandAuditor(world)
+
+    # ------------------------------------------------------------------
+    # Portfolio construction
+
+    def _intent_segment(
+        self, entity_id: str, intent: Intent, count: int, seed: int
+    ) -> list[Query]:
+        entity = self._world.catalog.get(entity_id)
+        vertical = get_vertical(entity.vertical)
+        rng = random.Random((seed, entity_id, intent.value).__repr__())
+        templates = INTENT_TEMPLATES[intent]
+        queries = []
+        for index in range(count):
+            template = templates[index % len(templates)]
+            text = template.format(
+                noun=vertical.noun,
+                keyword=rng.choice(vertical.keywords),
+                entity=entity.name,
+            )
+            queries.append(
+                Query(
+                    id=f"pat-{intent.value[:3]}-{entity.id.replace(':', '-')}-{index}",
+                    text=text,
+                    kind=QueryKind.INTENT,
+                    vertical=entity.vertical,
+                    intent=intent,
+                    entities=(entity_id,),
+                )
+            )
+        return queries
+
+    def _ranking_segment(self, entity_id: str, count: int, seed: int) -> list[Query]:
+        entity = self._world.catalog.get(entity_id)
+        full_pool = tuple(
+            e.id for e in self._world.catalog.in_vertical(entity.vertical)
+        )
+        queries = ranking_queries(
+            self._world.catalog,
+            verticals=(entity.vertical,),
+            count=count,
+            seed=seed,
+            id_prefix=f"pat-rank-{entity.id.replace(':', '-')}",
+        )
+        return [dataclasses.replace(q, entities=full_pool) for q in queries]
+
+    def _comparison_segment(
+        self, entity_id: str, count: int, seed: int
+    ) -> list[Query]:
+        entity = self._world.catalog.get(entity_id)
+        rivals = [
+            e for e in self._world.catalog.in_vertical(entity.vertical)
+            if e.id != entity_id
+        ]
+        rivals.sort(key=lambda e: -e.popularity)
+        rng = random.Random((seed, entity_id, "cmp").__repr__())
+        queries = []
+        for index in range(count):
+            rival = rivals[index % max(1, min(4, len(rivals)))]
+            keyword = rng.choice(get_vertical(entity.vertical).keywords)
+            queries.append(
+                Query(
+                    id=f"pat-cmp-{entity.id.replace(':', '-')}-{index}",
+                    text=f"{entity.name} or {rival.name} for {keyword}",
+                    kind=QueryKind.COMPARISON,
+                    vertical=entity.vertical,
+                    entities=(entity_id, rival.id),
+                )
+            )
+        return queries
+
+    # ------------------------------------------------------------------
+
+    def analyze(
+        self, entity_id: str, queries_per_segment: int = 10, seed: int = 0
+    ) -> PatternReport:
+        """Audit the entity across all five query segments."""
+        if queries_per_segment < 1:
+            raise ValueError("queries_per_segment must be at least 1")
+        entity = self._world.catalog.get(entity_id)
+        portfolio: dict[str, list[Query]] = {
+            "informational": self._intent_segment(
+                entity_id, Intent.INFORMATIONAL, queries_per_segment, seed
+            ),
+            "consideration": self._intent_segment(
+                entity_id, Intent.CONSIDERATION, queries_per_segment, seed
+            ),
+            "transactional": self._intent_segment(
+                entity_id, Intent.TRANSACTIONAL, queries_per_segment, seed
+            ),
+            "ranking": self._ranking_segment(entity_id, queries_per_segment, seed),
+            "comparison": self._comparison_segment(
+                entity_id, queries_per_segment, seed
+            ),
+        }
+        segments = {
+            name: self._auditor.audit(entity_id, queries)
+            for name, queries in portfolio.items()
+        }
+        return PatternReport(
+            entity_id=entity_id,
+            entity_name=entity.name,
+            segments=segments,
+        )

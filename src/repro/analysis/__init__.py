@@ -1,0 +1,68 @@
+"""The paper's measurement pipeline.
+
+One module per analysis axis:
+
+* :mod:`repro.analysis.overlap` — domain-overlap statistics (Figures 1-2)
+* :mod:`repro.analysis.typology` — source-type composition (Figure 3)
+* :mod:`repro.analysis.freshness` — HTML date extraction and age
+  distributions (Figure 4)
+* :mod:`repro.analysis.perturbations` — SS / ESI / strict grounding
+  sensitivity (Table 1)
+* :mod:`repro.analysis.pairwise` — pairwise-derived rankings and Kendall
+  tau consistency (Table 2)
+* :mod:`repro.analysis.citations` — citation-miss rates (Table 3)
+* :mod:`repro.analysis.rank_metrics` — shared ranking metrics
+"""
+
+from repro.analysis.citations import CitationMissReport, citation_miss_rates
+from repro.analysis.freshness import (
+    FreshnessReport,
+    extract_publication_date,
+    freshness_by_engine,
+)
+from repro.analysis.concentration import (
+    ConcentrationReport,
+    EngineConcentration,
+    domain_concentration,
+)
+from repro.analysis.overlap import (
+    OverlapReport,
+    domain_overlap,
+    domain_overlap_by_vertical,
+    system_pair_overlap,
+)
+from repro.analysis.pairwise import PairwiseConsistency, pairwise_consistency
+from repro.analysis.perturbations import (
+    PerturbationKind,
+    SensitivityResult,
+    entity_swap_injection,
+    sensitivity,
+    snippet_shuffle,
+)
+from repro.analysis.rank_metrics import mean_absolute_rank_deviation
+from repro.analysis.typology import TypologyReport, typology_by_intent
+
+__all__ = [
+    "CitationMissReport",
+    "ConcentrationReport",
+    "EngineConcentration",
+    "FreshnessReport",
+    "OverlapReport",
+    "PairwiseConsistency",
+    "PerturbationKind",
+    "SensitivityResult",
+    "TypologyReport",
+    "citation_miss_rates",
+    "domain_concentration",
+    "domain_overlap",
+    "domain_overlap_by_vertical",
+    "entity_swap_injection",
+    "extract_publication_date",
+    "freshness_by_engine",
+    "mean_absolute_rank_deviation",
+    "pairwise_consistency",
+    "sensitivity",
+    "snippet_shuffle",
+    "system_pair_overlap",
+    "typology_by_intent",
+]

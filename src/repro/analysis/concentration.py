@@ -1,0 +1,111 @@
+"""Vertical domain-concentration analysis (Section 2.3's first axis).
+
+The paper examines "domain concentration and temporal freshness across
+two high-interest verticals": Claude and GPT "concentrated on Earned
+media, citing TechRadar, Tom's Guide, RTINGS, CNET, and Wikipedia" while
+"Perplexity trades some editorial concentration for greater Brand and
+Social diversity".  This module quantifies that:
+
+* the Herfindahl-Hirschman index (HHI) of each engine's citation
+  distribution over domains — higher = more concentrated,
+* the top-k citation share and the top domains themselves,
+* the share of citations on each source type (complementing Figure 3 at
+  the vertical level).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.engines.base import Answer
+from repro.llm.classify import SourceTypeClassifier
+from repro.webgraph.domains import SourceType
+
+__all__ = ["ConcentrationReport", "EngineConcentration", "domain_concentration"]
+
+
+def _hhi(shares: Sequence[float]) -> float:
+    """Herfindahl-Hirschman index of a share vector (sums to <= 1)."""
+    return sum(share * share for share in shares)
+
+
+@dataclass(frozen=True)
+class EngineConcentration:
+    """One engine's citation-concentration profile over a workload."""
+
+    engine: str
+    citation_count: int
+    distinct_domains: int
+    hhi: float
+    top_domains: tuple[tuple[str, float], ...]  # (domain, share), best first
+    type_shares: dict[SourceType, float]
+
+    def top_share(self, k: int = 5) -> float:
+        """Combined citation share of the top-``k`` domains."""
+        return sum(share for __, share in self.top_domains[:k])
+
+
+@dataclass(frozen=True)
+class ConcentrationReport:
+    """Concentration profiles per engine for one vertical workload."""
+
+    vertical_group: str
+    engines: dict[str, EngineConcentration]
+
+    def ordered_by_concentration(self) -> list[tuple[str, float]]:
+        """(engine, HHI) pairs, most concentrated first."""
+        return sorted(
+            ((name, profile.hhi) for name, profile in self.engines.items()),
+            key=lambda kv: -kv[1],
+        )
+
+
+def domain_concentration(
+    answers_by_system: Mapping[str, Sequence[Answer]],
+    vertical_group: str = "",
+    top_k: int = 8,
+    classifier: SourceTypeClassifier | None = None,
+) -> ConcentrationReport:
+    """Compute Section 2.3's concentration profiles.
+
+    Citations are counted per registrable domain (an engine citing two
+    TechRadar pages for one query counts twice — concentration is about
+    where attention goes, not set membership).
+    """
+    if top_k < 1:
+        raise ValueError("top_k must be at least 1")
+    clf = classifier or SourceTypeClassifier()
+    engines: dict[str, EngineConcentration] = {}
+    for name, answers in answers_by_system.items():
+        domain_counts: dict[str, int] = {}
+        type_counts: dict[SourceType, int] = {t: 0 for t in SourceType}
+        total = 0
+        for answer in answers:
+            for citation in answer.citations:
+                domain_counts[citation.domain] = (
+                    domain_counts.get(citation.domain, 0) + 1
+                )
+                type_counts[clf.classify(citation.domain, citation.page)] += 1
+                total += 1
+        if total == 0:
+            engines[name] = EngineConcentration(
+                engine=name,
+                citation_count=0,
+                distinct_domains=0,
+                hhi=0.0,
+                top_domains=(),
+                type_shares={t: 0.0 for t in SourceType},
+            )
+            continue
+        shares = {domain: count / total for domain, count in domain_counts.items()}
+        ranked = sorted(shares.items(), key=lambda kv: (-kv[1], kv[0]))
+        engines[name] = EngineConcentration(
+            engine=name,
+            citation_count=total,
+            distinct_domains=len(domain_counts),
+            hhi=_hhi(list(shares.values())),
+            top_domains=tuple(ranked[:top_k]),
+            type_shares={t: type_counts[t] / total for t in SourceType},
+        )
+    return ConcentrationReport(vertical_group=vertical_group, engines=engines)

@@ -1,0 +1,72 @@
+"""Pairwise-comparison consistency (Table 2).
+
+Section 3.1: "we derive an alternate ranking R' through exhaustive
+pairwise judgments ... Each entity's final score equals the number of
+pairwise wins.  We then compute Kendall's tau(R, R')."
+
+Win counts routinely tie, so the tau is the tie-corrected tau-b between
+the holistic ranking's positions and the pairwise win counts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.llm.context import ContextWindow
+from repro.llm.model import GroundingMode, SimulatedLLM
+from repro.stats.kendall import kendall_tau
+
+__all__ = ["PairwiseConsistency", "pairwise_consistency", "pairwise_win_counts"]
+
+
+def pairwise_win_counts(
+    llm: SimulatedLLM,
+    query: str,
+    candidates: Sequence[str],
+    context: ContextWindow,
+    mode: GroundingMode = GroundingMode.NORMAL,
+) -> dict[str, int]:
+    """Exhaustive pairwise tournament: entity -> number of wins."""
+    if len(candidates) < 2:
+        raise ValueError("pairwise comparison requires at least two candidates")
+    wins = {entity: 0 for entity in candidates}
+    for a, b in combinations(candidates, 2):
+        winner = llm.pairwise_judge(query, a, b, context, mode=mode)
+        wins[winner] += 1
+    return wins
+
+
+@dataclass(frozen=True)
+class PairwiseConsistency:
+    """One query's holistic-vs-pairwise agreement."""
+
+    query: str
+    mode: GroundingMode
+    holistic_ranking: tuple[str, ...]
+    win_counts: dict[str, int]
+    tau: float
+
+
+def pairwise_consistency(
+    llm: SimulatedLLM,
+    query: str,
+    candidates: Sequence[str],
+    context: ContextWindow,
+    mode: GroundingMode = GroundingMode.NORMAL,
+) -> PairwiseConsistency:
+    """Compute tau(R, R') for one query under one grounding regime."""
+    holistic = llm.rank_entities(query, list(candidates), context, mode=mode)
+    wins = pairwise_win_counts(llm, query, candidates, context, mode=mode)
+    # Higher = better on both sides: negate holistic positions, use win
+    # counts directly.  tau-b handles the ties in win counts.
+    xs = [-float(holistic.ranking.index(entity)) for entity in candidates]
+    ys = [float(wins[entity]) for entity in candidates]
+    return PairwiseConsistency(
+        query=query,
+        mode=mode,
+        holistic_ranking=holistic.ranking,
+        win_counts=wins,
+        tau=kendall_tau(xs, ys),
+    )

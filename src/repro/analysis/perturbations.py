@@ -1,0 +1,174 @@
+"""Evidence perturbations and sensitivity measurement (Table 1).
+
+Three manipulations from Section 3.1:
+
+* **Snippet Shuffle (SS)** — randomize snippet order (presentation bias).
+* **Strict Grounding** — not a context edit but a prompting regime; the
+  sensitivity harness takes a :class:`GroundingMode`.
+* **Entity-Swap Injection (ESI)** — swap entity mentions between
+  snippets (contextual dependence): two entities exchange identities
+  inside the evidence, text and stances alike.
+
+:func:`sensitivity` runs a perturbation N times against a baseline
+ranking and reports the mean absolute rank deviation.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.analysis.rank_metrics import mean_absolute_rank_deviation
+from repro.entities.catalog import EntityCatalog
+from repro.llm.context import ContextWindow
+from repro.llm.model import GroundingMode, SimulatedLLM
+
+__all__ = [
+    "PerturbationKind",
+    "SensitivityResult",
+    "entity_swap_injection",
+    "sensitivity",
+    "snippet_shuffle",
+]
+
+
+class PerturbationKind(enum.Enum):
+    """The perturbations of Section 3.1."""
+
+    SNIPPET_SHUFFLE = "snippet_shuffle"
+    ENTITY_SWAP = "entity_swap"
+
+
+def snippet_shuffle(context: ContextWindow, rng: random.Random) -> ContextWindow:
+    """A uniformly random reordering of the context."""
+    order = list(range(len(context)))
+    rng.shuffle(order)
+    return context.reordered(order)
+
+
+def _swap_text(text: str, forms_a: Sequence[str], forms_b: Sequence[str]) -> str:
+    """Swap every surface form of entity A with entity B's primary form.
+
+    A placeholder pass keeps the swap symmetric (A->B and B->A without
+    the second substitution re-capturing the first).
+    """
+    placeholder = "\x00ENTITY\x00"
+    result = text
+    for form in sorted(forms_a, key=len, reverse=True):
+        result = result.replace(form, placeholder)
+    for form in sorted(forms_b, key=len, reverse=True):
+        result = result.replace(form, forms_a[0])
+    return result.replace(placeholder, forms_b[0])
+
+
+def entity_swap_injection(
+    context: ContextWindow,
+    catalog: EntityCatalog,
+    candidates: Sequence[str],
+    rng: random.Random,
+    swap_fraction: float = 0.5,
+) -> ContextWindow:
+    """Swap entity identities inside the evidence.
+
+    A random pairing over (a fraction of) the candidate entities is
+    drawn; for each pair, every snippet's stances and text exchange the
+    two identities.  The context *shape* (order, URLs, lengths) is
+    untouched — only who-is-said-to-be-good changes, which is exactly the
+    contextual-dependence probe.
+    """
+    if not 0.0 < swap_fraction <= 1.0:
+        raise ValueError("swap_fraction must be in (0, 1]")
+    pool = [c for c in candidates if c in catalog]
+    rng.shuffle(pool)
+    keep = max(2, int(len(pool) * swap_fraction))
+    pool = pool[:keep]
+    pairs = [
+        (pool[i], pool[i + 1]) for i in range(0, len(pool) - 1, 2)
+    ]
+    if not pairs:
+        return context
+
+    mapping: dict[str, str] = {}
+    for a, b in pairs:
+        mapping[a] = b
+        mapping[b] = a
+
+    swapped = []
+    for snippet in context:
+        stances = {
+            mapping.get(entity, entity): stance
+            for entity, stance in snippet.entity_stance.items()
+        }
+        text = snippet.text
+        for a, b in pairs:
+            text = _swap_text(
+                text,
+                list(catalog.get(a).surface_forms()),
+                list(catalog.get(b).surface_forms()),
+            )
+        swapped.append(snippet.with_stances(stances).__class__(
+            text=text,
+            url=snippet.url,
+            domain=snippet.domain,
+            entity_stance=stances,
+        ))
+    return ContextWindow(swapped)
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Mean absolute rank deviation for one (perturbation, mode) cell."""
+
+    kind: PerturbationKind
+    mode: GroundingMode
+    runs: int
+    deltas: tuple[float, ...]
+
+    @property
+    def delta_avg(self) -> float:
+        """The paper's ``Delta_avg``: mean deviation over runs."""
+        return sum(self.deltas) / len(self.deltas)
+
+
+def sensitivity(
+    llm: SimulatedLLM,
+    query: str,
+    candidates: Sequence[str],
+    context: ContextWindow,
+    kind: PerturbationKind,
+    *,
+    mode: GroundingMode = GroundingMode.NORMAL,
+    runs: int = 10,
+    seed: int = 0,
+    catalog: EntityCatalog | None = None,
+) -> SensitivityResult:
+    """Run one Table 1 cell for one query.
+
+    The baseline ranking ``R`` uses the unperturbed context under the
+    same grounding mode; each run applies a fresh random perturbation and
+    measures the deviation of the new ranking ``R_i`` from ``R``.
+    """
+    if runs < 1:
+        raise ValueError("runs must be positive")
+    if kind is PerturbationKind.ENTITY_SWAP and catalog is None:
+        raise ValueError("entity swap requires the entity catalog")
+
+    baseline = llm.rank_entities(query, list(candidates), context, mode=mode)
+    deltas = []
+    for run in range(runs):
+        rng = random.Random((seed, query, run).__repr__())
+        if kind is PerturbationKind.SNIPPET_SHUFFLE:
+            perturbed_context = snippet_shuffle(context, rng)
+        else:
+            perturbed_context = entity_swap_injection(
+                context, catalog, candidates, rng
+            )
+        perturbed = llm.rank_entities(
+            query, list(candidates), perturbed_context, mode=mode
+        )
+        deltas.append(
+            mean_absolute_rank_deviation(baseline.ranking, perturbed.ranking)
+        )
+    return SensitivityResult(kind=kind, mode=mode, runs=runs, deltas=tuple(deltas))

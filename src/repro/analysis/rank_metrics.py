@@ -1,0 +1,40 @@
+"""Shared ranking metrics.
+
+The perturbation experiments quantify ranking movement with the mean
+absolute rank deviation of Section 3.1:
+
+``Delta_i = (1/|R|) * sum_x |rank_{R_i}(x) - rank_R(x)|``
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+__all__ = ["mean_absolute_rank_deviation", "rank_positions"]
+
+
+def rank_positions(ranking: Sequence[Hashable]) -> dict[Hashable, int]:
+    """Item -> 1-based rank; raises on duplicates."""
+    positions: dict[Hashable, int] = {}
+    for index, item in enumerate(ranking):
+        if item in positions:
+            raise ValueError(f"duplicate item {item!r} in ranking")
+        positions[item] = index + 1
+    return positions
+
+
+def mean_absolute_rank_deviation(
+    reference: Sequence[Hashable], perturbed: Sequence[Hashable]
+) -> float:
+    """The paper's ``Delta_i`` between two rankings of the same items.
+
+    Both rankings must cover the same item set exactly once each.
+    """
+    ref_pos = rank_positions(reference)
+    per_pos = rank_positions(perturbed)
+    if set(ref_pos) != set(per_pos):
+        raise ValueError("rankings must cover identical item sets")
+    if not ref_pos:
+        raise ValueError("rankings must be non-empty")
+    total = sum(abs(per_pos[item] - ref_pos[item]) for item in ref_pos)
+    return total / len(ref_pos)

@@ -1,0 +1,104 @@
+"""Source-typology analysis (Figure 3).
+
+Citations are classified brand / earned / social with the classifier
+standing in for GPT-4o, then aggregated into composition shares per
+system, both overall and per query intent.  Answers with no citations
+(Claude declining to search) contribute nothing — exactly how the paper's
+share denominators behave.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.engines.base import Answer
+from repro.entities.intents import Intent
+from repro.entities.queries import Query
+from repro.llm.classify import SourceTypeClassifier
+from repro.webgraph.domains import SourceType
+
+__all__ = ["TypologyReport", "typology_by_intent"]
+
+Shares = dict[SourceType, float]
+
+
+def _shares(counts: dict[SourceType, int]) -> Shares:
+    total = sum(counts.values())
+    if total == 0:
+        return {t: 0.0 for t in SourceType}
+    return {t: counts.get(t, 0) / total for t in SourceType}
+
+
+@dataclass(frozen=True)
+class TypologyReport:
+    """Source-type composition per system, overall and per intent."""
+
+    systems: tuple[str, ...]
+    overall: dict[str, Shares]
+    by_intent: dict[Intent, dict[str, Shares]]
+    citation_counts: dict[str, int]
+    empty_answers: dict[str, int]
+
+    def share(self, system: str, source_type: SourceType) -> float:
+        """Overall composition share for one system and type."""
+        return self.overall[system][source_type]
+
+    def intent_share(
+        self, intent: Intent, system: str, source_type: SourceType
+    ) -> float:
+        """Per-intent composition share."""
+        return self.by_intent[intent][system][source_type]
+
+
+def typology_by_intent(
+    answers_by_system: Mapping[str, Sequence[Answer]],
+    queries: Sequence[Query],
+    classifier: SourceTypeClassifier | None = None,
+) -> TypologyReport:
+    """Compute Figure 3's composition shares.
+
+    ``queries`` must align positionally with every system's answers and
+    carry the intent labels (Figure 3's workload is intent-typed).
+    """
+    clf = classifier or SourceTypeClassifier()
+    for name, answers in answers_by_system.items():
+        if len(answers) != len(queries):
+            raise ValueError(
+                f"system {name!r} has {len(answers)} answers for "
+                f"{len(queries)} queries"
+            )
+
+    systems = tuple(answers_by_system)
+    overall_counts: dict[str, dict[SourceType, int]] = {
+        name: {t: 0 for t in SourceType} for name in systems
+    }
+    intent_counts: dict[Intent, dict[str, dict[SourceType, int]]] = {
+        intent: {name: {t: 0 for t in SourceType} for name in systems}
+        for intent in Intent
+    }
+    citation_counts = {name: 0 for name in systems}
+    empty_answers = {name: 0 for name in systems}
+
+    for name in systems:
+        for answer, query in zip(answers_by_system[name], queries):
+            if not answer.citations:
+                empty_answers[name] += 1
+                continue
+            intent = query.intent if query.intent is not None else Intent.CONSIDERATION
+            for citation in answer.citations:
+                source_type = clf.classify(citation.domain, citation.page)
+                overall_counts[name][source_type] += 1
+                intent_counts[intent][name][source_type] += 1
+                citation_counts[name] += 1
+
+    return TypologyReport(
+        systems=systems,
+        overall={name: _shares(overall_counts[name]) for name in systems},
+        by_intent={
+            intent: {name: _shares(intent_counts[intent][name]) for name in systems}
+            for intent in Intent
+        },
+        citation_counts=citation_counts,
+        empty_answers=empty_answers,
+    )

@@ -1,0 +1,28 @@
+"""The study orchestration layer — the library's primary public API.
+
+Typical use::
+
+    from repro.core import StudyConfig, World, ComparativeStudy
+
+    world = World.build(StudyConfig(seed=7))
+    study = ComparativeStudy(world)
+    fig1 = study.domain_overlap_ranking()      # Figure 1
+    table1 = study.perturbation_sensitivity()  # Table 1
+
+:mod:`repro.core.experiments` exposes the same experiments behind a
+string registry (``run_experiment("fig1", world)``), and
+:mod:`repro.core.report` renders each result as the paper's rows/series.
+"""
+
+from repro.core.config import StudyConfig
+from repro.core.experiments import EXPERIMENTS, run_experiment
+from repro.core.study import ComparativeStudy
+from repro.core.world import World
+
+__all__ = [
+    "ComparativeStudy",
+    "EXPERIMENTS",
+    "StudyConfig",
+    "World",
+    "run_experiment",
+]

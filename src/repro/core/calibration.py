@@ -1,0 +1,172 @@
+"""Calibration record: every fitted parameter and what pins it down.
+
+The reproduction targets the paper's *shape* — orderings, separations and
+crossovers — not its absolute numbers (the substrate is a ~400-domain
+synthetic web, not the 2025 live web).  This module documents, for each
+knob, the paper observation that constrains it, so a reader can audit
+which behaviours are mechanisms and which are fitted magnitudes.
+
+The values themselves live where they are used (:class:`LLMConfig`
+defaults, the per-engine ``*_POLICY`` constants, the corpus generator);
+:data:`CALIBRATION_NOTES` indexes them, and :func:`calibration_report`
+renders the index for humans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CalibrationNote", "CALIBRATION_NOTES", "calibration_report"]
+
+
+@dataclass(frozen=True)
+class CalibrationNote:
+    """One fitted parameter (or parameter group) and its constraint."""
+
+    parameter: str
+    location: str
+    constrained_by: str
+    rationale: str
+
+
+CALIBRATION_NOTES: tuple[CalibrationNote, ...] = (
+    # ------------------------------------------------------------- corpus
+    CalibrationNote(
+        parameter="EXPOSURE_ALPHA = 1.8",
+        location="repro.webgraph.corpus",
+        constrained_by="Table 3 miss-rate gradient; Section 3 prior strength",
+        rationale=(
+            "Super-linear concentration of page coverage on popular "
+            "entities; produces the Toyota-to-Infiniti coverage gap that "
+            "drives both citation misses and prior confidence."
+        ),
+    ),
+    CalibrationNote(
+        parameter="age profiles (earned 75d, brand 320d, social 160d medians; "
+        "automotive age_scale 3.6-4.2)",
+        location="repro.webgraph.domains / repro.entities.verticals",
+        constrained_by="Figure 4 age distributions",
+        rationale=(
+            "Earned media chases the news cycle, brand pages are evergreen; "
+            "automotive publishing cycles run several times slower than "
+            "consumer electronics."
+        ),
+    ),
+    CalibrationNote(
+        parameter="quality = N(0.38 + 0.2*authority + 0.14*specialist, 0.15)",
+        location="repro.webgraph.corpus",
+        constrained_by="Figure 1 low AI-vs-Google overlap",
+        rationale=(
+            "Editorial quality must decouple from backlink authority — "
+            "otherwise 'prefer quality' (AI engines) and 'prefer authority' "
+            "(SEO) pick the same sources and the overlap gap collapses."
+        ),
+    ),
+    CalibrationNote(
+        parameter="long tail: 24 editorial outlets + 2 forums per vertical "
+        "(niche verticals 12 + 2)",
+        location="repro.webgraph.domains.build_default_registry",
+        constrained_by="Figures 1-2 overlap levels and niche shift",
+        rationale=(
+            "Without a long tail every engine is forced onto the same dozen "
+            "domains; niche verticals get a thinner tail, which produces "
+            "Figure 2's niche-queries-raise-overlap effect."
+        ),
+    ),
+    # ------------------------------------------------------------ engines
+    CalibrationNote(
+        parameter="SeoWeights(relevance .42, authority .34, on_page_seo .16, "
+        "freshness .08)",
+        location="repro.search.seo",
+        constrained_by="Figure 3 Google composition; Figure 4 Google ages",
+        rationale=(
+            "Google's organic blend: authority-heavy with only a weak "
+            "freshness preference, which is why its citations run oldest."
+        ),
+    ),
+    CalibrationNote(
+        parameter="per-engine SourcingPolicy constants",
+        location="repro.engines.{gpt4o,claude,gemini,perplexity}",
+        constrained_by="Figures 1, 3, 4 jointly",
+        rationale=(
+            "GPT-4o: strongest reformulation + fresh earned focus (lowest "
+            "overlap).  Claude: heaviest earned concentration, zero social "
+            "affinity, freshest citations.  Gemini: reranks Google's own "
+            "top results (grounding) with non-SEO preferences.  Perplexity: "
+            "broadest mix (retailers + UGC), stalest of the AI engines, "
+            "highest overlap with Google."
+        ),
+    ),
+    CalibrationNote(
+        parameter="selection_jitter 0.12-0.25",
+        location="repro.engines.retrieval.SourcingPolicy",
+        constrained_by="Figures 1 and 3 (overlap level; occasional UGC citations)",
+        rationale=(
+            "A commercial engine's retrieval stack is not a fixed linear "
+            "scorer; deterministic per-(query, page) jitter reproduces its "
+            "query-to-query variety while keeping runs bit-identical."
+        ),
+    ),
+    # ---------------------------------------------------------------- LLM
+    CalibrationNote(
+        parameter="confidence = saturation(exposure) * (0.2 + 0.8*popularity); "
+        "base_sigma 0.08, anchor 0.55",
+        location="repro.llm.pretraining.PretrainedKnowledge",
+        constrained_by="Tables 1-3 popular/niche separation",
+        rationale=(
+            "Prior sharpness grows with pre-training exposure; vague "
+            "beliefs shrink toward a bland mid-scale anchor rather than "
+            "being randomly extreme."
+        ),
+    ),
+    CalibrationNote(
+        parameter="attention_decay 1.03, attention_half_weight 1.5",
+        location="repro.llm.model.LLMConfig",
+        constrained_by="Table 1 SS (normal): niche 4.15 vs popular 2.30",
+        rationale=(
+            "Limited attention makes unconstrained reading order-sensitive: "
+            "an entity mentioned only late in the window is barely "
+            "registered, so shuffling rewrites what the model effectively "
+            "read.  Context-dominated (niche) rankings scramble; prior-"
+            "dominated (popular) ones move less."
+        ),
+    ),
+    CalibrationNote(
+        parameter="gen_noise_normal 0.139, gen_noise_strict 0.004, "
+        "conflict_noise 1.38",
+        location="repro.llm.model.LLMConfig",
+        constrained_by="Table 1 all six cells (fitted by tools/sweep_section3.py)",
+        rationale=(
+            "Normal-mode generation noise re-rolls with the ordered context "
+            "fingerprint (temperature-0 order sensitivity).  Strict-mode "
+            "noise is near zero except where many supporting snippets "
+            "disagree — reconciling redundant conflicting coverage of a "
+            "famous product is ambiguous, summarizing a niche firm's single "
+            "source is not (strict column: popular 1.52 vs niche 0.46)."
+        ),
+    ),
+    CalibrationNote(
+        parameter="pair_noise 0.0085, pair_noise_vague 0.556 (x (1-conf)^2), "
+        "strict_pair_noise 1.035 (x sparsity x (1-conf)^2)",
+        location="repro.llm.model.LLMConfig",
+        constrained_by="Table 2 tau structure (fitted by tools/sweep_section3.py)",
+        rationale=(
+            "Pairwise judgments between familiar entities are crisp and, "
+            "in strict mode, share the holistic ranking's noise realization "
+            "(popular strict tau -> 1.0); unfamiliar pairs fluctuate per "
+            "call, and thinly-evidenced pairs approach coin flips."
+        ),
+    ),
+)
+
+
+def calibration_report() -> str:
+    """Human-readable dump of the calibration index."""
+    lines = ["Calibration index (parameter — constrained by — rationale)", ""]
+    for note in CALIBRATION_NOTES:
+        lines.append(f"* {note.parameter}")
+        lines.append(f"    where: {note.location}")
+        lines.append(f"    constrained by: {note.constrained_by}")
+        lines.append(f"    rationale: {note.rationale}")
+        lines.append("")
+    return "\n".join(lines)

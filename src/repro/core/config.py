@@ -1,0 +1,59 @@
+"""Study configuration.
+
+One :class:`StudyConfig` seeds everything: the corpus, the engines' model
+seeds, and every workload generator.  Two studies with equal configs are
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+
+from repro.webgraph.dates import DEFAULT_STUDY_DATE
+
+__all__ = ["StudyConfig", "WorkloadSizes"]
+
+
+@dataclass(frozen=True)
+class WorkloadSizes:
+    """Per-experiment workload sizes.
+
+    Defaults follow the paper (1,000 ranking queries; 100+100 comparison
+    queries; 300 intent queries; 10 perturbation runs per condition).
+    Tests shrink these for speed.
+    """
+
+    ranking_queries: int = 1000
+    comparison_popular: int = 100
+    comparison_niche: int = 100
+    intent_queries: int = 300
+    freshness_queries_per_vertical: int = 40
+    perturbation_queries: int = 30
+    perturbation_runs: int = 10
+    pairwise_queries: int = 12
+    citation_queries: int = 120
+
+    def __post_init__(self) -> None:
+        for name in (
+            "ranking_queries", "comparison_popular", "comparison_niche",
+            "intent_queries", "freshness_queries_per_vertical",
+            "perturbation_queries", "perturbation_runs",
+            "pairwise_queries", "citation_queries",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Top-level configuration of a reproduction run."""
+
+    seed: int = 7
+    corpus_scale: float = 1.0
+    study_date: dt.date = DEFAULT_STUDY_DATE
+    sizes: WorkloadSizes = field(default_factory=WorkloadSizes)
+
+    def __post_init__(self) -> None:
+        if self.corpus_scale <= 0:
+            raise ValueError("corpus_scale must be positive")

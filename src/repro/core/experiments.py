@@ -1,0 +1,107 @@
+"""Experiment registry: paper artifact id -> spec -> runner.
+
+``run_experiment("table1", world)`` executes the experiment and returns
+``(result, rendered_text)``.  The registry is what the benchmark harness
+and the examples iterate over, and its specs double as the per-experiment
+index required by DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core import report as report_module
+from repro.core.study import ComparativeStudy
+from repro.core.world import World
+
+__all__ = ["EXPERIMENTS", "ExperimentSpec", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One paper artifact and how to regenerate it."""
+
+    id: str
+    paper_artifact: str
+    description: str
+    workload: str
+    runner: Callable[[ComparativeStudy], object]
+    renderer: Callable[[object], str]
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.id: spec
+    for spec in (
+        ExperimentSpec(
+            id="fig1",
+            paper_artifact="Figure 1",
+            description="AI-vs-Google domain overlap over ranking queries",
+            workload="1,000 ranking queries over ten consumer topics; 5 systems",
+            runner=lambda study: study.domain_overlap_ranking(),
+            renderer=report_module.render_fig1,
+        ),
+        ExperimentSpec(
+            id="fig2",
+            paper_artifact="Figure 2",
+            description="Domain overlap on popular vs niche entity comparisons",
+            workload="200 comparison queries (100 popular / 100 niche)",
+            runner=lambda study: study.domain_overlap_popular_niche(),
+            renderer=report_module.render_fig2,
+        ),
+        ExperimentSpec(
+            id="fig3",
+            paper_artifact="Figure 3",
+            description="Source typology (brand/earned/social) by intent and model",
+            workload="300 consumer-electronics queries across three intents",
+            runner=lambda study: study.source_typology(),
+            renderer=report_module.render_fig3,
+        ),
+        ExperimentSpec(
+            id="fig4",
+            paper_artifact="Figure 4",
+            description="Article-age distributions by engine and vertical",
+            workload="ranking queries in consumer electronics and automotive",
+            runner=lambda study: study.freshness(),
+            renderer=report_module.render_fig4,
+        ),
+        ExperimentSpec(
+            id="table1",
+            paper_artifact="Table 1",
+            description="SS / strict-grounding / ESI rank sensitivity",
+            workload="popular and niche ranking queries, 10 runs per condition",
+            runner=lambda study: study.perturbation_sensitivity(),
+            renderer=report_module.render_table1,
+        ),
+        ExperimentSpec(
+            id="table2",
+            paper_artifact="Table 2",
+            description="Kendall tau between holistic and pairwise rankings",
+            workload="popular and niche ranking queries, exhaustive pairwise",
+            runner=lambda study: study.pairwise_agreement(),
+            renderer=report_module.render_table2,
+        ),
+        ExperimentSpec(
+            id="table3",
+            paper_artifact="Table 3",
+            description="Representative citation-miss rates on SUV queries",
+            workload="SUV ranking queries with retrieved evidence",
+            runner=lambda study: study.citation_misses(),
+            renderer=report_module.render_table3,
+        ),
+    )
+}
+
+
+def run_experiment(experiment_id: str, world: World) -> tuple[object, str]:
+    """Run one experiment by id; returns (result, rendered text)."""
+    try:
+        spec = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    study = ComparativeStudy(world)
+    result = spec.runner(study)
+    return result, spec.renderer(result)

@@ -1,0 +1,66 @@
+"""Serialization of experiment results to plain JSON-able structures.
+
+Every result object from :class:`repro.core.study.ComparativeStudy` can
+be flattened to a dictionary of primitives, so runs can be archived,
+diffed across seeds, or consumed by external plotting tools.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import math
+from typing import Any
+
+__all__ = ["result_to_dict", "results_to_json"]
+
+
+def _convert(value: Any) -> Any:
+    """Recursively convert a result value to JSON-able primitives."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, float):
+        return None if math.isnan(value) else value
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _convert(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {_key(key): _convert(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        converted = [_convert(item) for item in value]
+        if isinstance(value, (set, frozenset)):
+            converted.sort(key=repr)
+        return converted
+    raise TypeError(f"cannot serialize {type(value).__name__}: {value!r}")
+
+
+def _key(key: Any) -> str:
+    if isinstance(key, enum.Enum):
+        return str(key.value)
+    return str(key)
+
+
+def result_to_dict(result: Any) -> dict[str, Any]:
+    """Flatten a study result (dataclass) into JSON-able primitives.
+
+    ``NaN`` floats (e.g. a median over an empty sample) become ``None``;
+    enum values collapse to their string values; sets become sorted lists.
+    """
+    converted = _convert(result)
+    if not isinstance(converted, dict):
+        raise TypeError("result_to_dict expects a dataclass result object")
+    return converted
+
+
+def results_to_json(results: dict[str, Any], indent: int = 2) -> str:
+    """Serialize a mapping of experiment id -> result to a JSON document."""
+    payload = {
+        experiment_id: result_to_dict(result)
+        for experiment_id, result in results.items()
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)

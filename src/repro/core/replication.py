@@ -1,0 +1,203 @@
+"""Multi-seed replication: are the findings artifacts of one world?
+
+The reproduction is deterministic per seed, which cuts both ways: any
+single run could owe its shape to one lucky synthetic web.  This module
+reruns the headline metrics across independent seeds and aggregates them
+with bootstrap confidence intervals, turning "holds at seed 7" into
+"holds in k of n replicates, with the metric at x ± y".
+
+``replicate(...)`` is the programmatic API; ``tools/seed_stability.py``
+is the quick CLI view of the same idea.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.config import StudyConfig, WorkloadSizes
+from repro.core.study import ComparativeStudy
+from repro.core.world import World
+from repro.stats.bootstrap import BootstrapResult, bootstrap_ci
+from repro.stats.summaries import mean
+
+__all__ = [
+    "ClaimCheck",
+    "MetricExtractor",
+    "ReplicationReport",
+    "DEFAULT_METRICS",
+    "DEFAULT_CLAIMS",
+    "replicate",
+]
+
+
+@dataclass(frozen=True)
+class MetricExtractor:
+    """A named scalar metric computed from one study run."""
+
+    name: str
+    compute: Callable[[ComparativeStudy], float]
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """A named boolean claim evaluated on one run's metric values."""
+
+    name: str
+    holds: Callable[[dict[str, float]], bool]
+
+
+@dataclass(frozen=True)
+class ReplicationReport:
+    """Aggregated multi-seed results."""
+
+    seeds: tuple[int, ...]
+    per_seed_metrics: dict[int, dict[str, float]]
+    metric_intervals: dict[str, BootstrapResult]
+    claim_counts: dict[str, int]
+
+    @property
+    def replicate_count(self) -> int:
+        return len(self.seeds)
+
+    def claim_rate(self, claim_name: str) -> float:
+        """Fraction of replicates in which the claim held."""
+        return self.claim_counts[claim_name] / self.replicate_count
+
+    def render(self) -> str:
+        """Human-readable replication summary."""
+        lines = [f"Replication over {self.replicate_count} seeds: {list(self.seeds)}", ""]
+        lines.append("metrics (mean with 95% bootstrap CI over seeds):")
+        for name, interval in self.metric_intervals.items():
+            lines.append(
+                f"  {name:<36} {interval.estimate:7.3f}  "
+                f"[{interval.low:7.3f}, {interval.high:7.3f}]"
+            )
+        lines.append("")
+        lines.append("claims (replicates in which each held):")
+        for name, count in self.claim_counts.items():
+            lines.append(f"  {count}/{self.replicate_count}  {name}")
+        return "\n".join(lines)
+
+
+def _overlap_gap(study_metrics: dict[str, float]) -> float:
+    return study_metrics["fig1_perplexity_overlap"] - study_metrics["fig1_gpt4o_overlap"]
+
+
+DEFAULT_METRICS: tuple[MetricExtractor, ...] = (
+    MetricExtractor(
+        "fig1_gpt4o_overlap",
+        lambda s: s.domain_overlap_ranking().mean_overlap["GPT-4o"],
+    ),
+    MetricExtractor(
+        "fig1_perplexity_overlap",
+        lambda s: s.domain_overlap_ranking().mean_overlap["Perplexity"],
+    ),
+    MetricExtractor(
+        "fig4_ce_google_over_claude",
+        lambda s: (
+            (fig4 := s.freshness()).electronics.median_age_days["Google"]
+            / fig4.electronics.median_age_days["Claude"]
+        ),
+    ),
+    MetricExtractor(
+        "table1_niche_minus_popular_ssn",
+        lambda s: (
+            (t1 := s.perturbation_sensitivity()).ss_normal["niche"]
+            - t1.ss_normal["popular"]
+        ),
+    ),
+    MetricExtractor(
+        "table1_popular_minus_niche_sss",
+        lambda s: (
+            (t1 := s.perturbation_sensitivity()).ss_strict["popular"]
+            - t1.ss_strict["niche"]
+        ),
+    ),
+    MetricExtractor(
+        "table2_popular_minus_niche_tau",
+        lambda s: (
+            (t2 := s.pairwise_agreement()).tau_normal["popular"]
+            - t2.tau_normal["niche"]
+        ),
+    ),
+    MetricExtractor(
+        "table3_peripheral_minus_mainstream",
+        lambda s: (
+            (t3 := s.citation_misses()).representative["Infiniti"]
+            + t3.representative["Cadillac"]
+            - t3.representative["Toyota"]
+            - t3.representative["Honda"]
+        ) / 2.0,
+    ),
+)
+
+DEFAULT_CLAIMS: tuple[ClaimCheck, ...] = (
+    ClaimCheck("AI-vs-Google overlap gap (Perplexity > GPT-4o)",
+               lambda m: _overlap_gap(m) > 0),
+    ClaimCheck("Google cites >1.3x older than Claude (electronics)",
+               lambda m: m["fig4_ce_google_over_claude"] > 1.3),
+    ClaimCheck("niche more order-sensitive than popular (normal)",
+               lambda m: m["table1_niche_minus_popular_ssn"] > 0.5),
+    ClaimCheck("strict grounding inverts popular/niche stability",
+               lambda m: m["table1_popular_minus_niche_sss"] > 0),
+    ClaimCheck("popular pairwise consistency exceeds niche",
+               lambda m: m["table2_popular_minus_niche_tau"] > 0.1),
+    ClaimCheck("peripheral makes miss citations more than mainstream",
+               lambda m: m["table3_peripheral_minus_mainstream"] > 0.15),
+)
+
+_REPLICATION_SIZES = WorkloadSizes(
+    ranking_queries=150,
+    comparison_popular=30,
+    comparison_niche=30,
+    intent_queries=90,
+    freshness_queries_per_vertical=20,
+    perturbation_queries=10,
+    perturbation_runs=5,
+    pairwise_queries=6,
+    citation_queries=40,
+)
+
+
+def replicate(
+    seeds: Sequence[int],
+    metrics: Sequence[MetricExtractor] = DEFAULT_METRICS,
+    claims: Sequence[ClaimCheck] = DEFAULT_CLAIMS,
+    sizes: WorkloadSizes = _REPLICATION_SIZES,
+    *,
+    bootstrap_resamples: int = 1000,
+) -> ReplicationReport:
+    """Run the metrics and claims across ``seeds`` and aggregate."""
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    if len(set(seeds)) != len(seeds):
+        raise ValueError("seeds must be distinct")
+
+    per_seed: dict[int, dict[str, float]] = {}
+    claim_counts = {claim.name: 0 for claim in claims}
+    for seed in seeds:
+        study = ComparativeStudy(World.build(StudyConfig(seed=seed, sizes=sizes)))
+        values = {metric.name: float(metric.compute(study)) for metric in metrics}
+        per_seed[seed] = values
+        for claim in claims:
+            claim_counts[claim.name] += bool(claim.holds(values))
+
+    intervals = {}
+    for metric in metrics:
+        sample = [per_seed[seed][metric.name] for seed in seeds]
+        if len(sample) == 1:
+            intervals[metric.name] = BootstrapResult(
+                estimate=sample[0], low=sample[0], high=sample[0],
+                confidence=0.95, resamples=0,
+            )
+        else:
+            intervals[metric.name] = bootstrap_ci(
+                sample, mean, resamples=bootstrap_resamples, seed=0
+            )
+    return ReplicationReport(
+        seeds=tuple(seeds),
+        per_seed_metrics=per_seed,
+        metric_intervals=intervals,
+        claim_counts=claim_counts,
+    )

@@ -1,0 +1,195 @@
+"""Rendering experiment results as the paper's rows and series.
+
+Each ``render_*`` function takes a result object from
+:class:`repro.core.study.ComparativeStudy` and returns the text table or
+series the corresponding paper artifact shows, so a benchmark run prints
+directly comparable output.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.freshness import FreshnessReport
+from repro.analysis.overlap import OverlapReport
+from repro.analysis.typology import TypologyReport
+from repro.core.study import (
+    Fig2Result,
+    Fig4Result,
+    Table1Result,
+    Table2Result,
+    Table3Result,
+)
+from repro.engines.registry import AI_ENGINE_NAMES
+from repro.stats.mannwhitney import mann_whitney_u
+from repro.entities.intents import Intent
+from repro.webgraph.domains import SourceType
+
+__all__ = [
+    "render_fig1",
+    "render_fig2",
+    "render_fig3",
+    "render_fig4",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+]
+
+
+def _pct(value: float) -> str:
+    return f"{100.0 * value:5.1f}%"
+
+
+def render_fig1(report: OverlapReport) -> str:
+    """Figure 1: AI-vs-Google domain overlap over ranking queries."""
+    lines = [
+        "Figure 1 — AI-vs-Google Domain Overlap over Ranking Queries",
+        f"  ({report.query_count} queries; baseline: {report.baseline} top-10)",
+    ]
+    for system in AI_ENGINE_NAMES:
+        if system in report.mean_overlap:
+            lines.append(f"  {system:<11} {_pct(report.mean_overlap[system])}")
+    lines.append(f"  cross-model overlap: {_pct(report.cross_model_overlap)}")
+    lines.append(f"  unique-domain ratio: {_pct(report.unique_domain_ratio)}")
+    return "\n".join(lines)
+
+
+def render_fig2(result: Fig2Result) -> str:
+    """Figure 2: overlap on popular and niche entity-comparison queries."""
+    lines = [
+        "Figure 2 — AI-vs-Google & Gemini Domain Overlap on Popular and Niche Entities",
+        f"  {'system':<11} {'vs Google pop':>13} {'vs Google nic':>13} "
+        f"{'vs Gemini pop':>13} {'vs Gemini nic':>13}",
+    ]
+    for system in AI_ENGINE_NAMES:
+        cells = []
+        for report in (
+            result.vs_google_popular,
+            result.vs_google_niche,
+            result.vs_gemini_popular,
+            result.vs_gemini_niche,
+        ):
+            cells.append(
+                _pct(report.mean_overlap[system])
+                if system in report.mean_overlap
+                else "    —"
+            )
+        lines.append(f"  {system:<11} " + " ".join(f"{c:>13}" for c in cells))
+    lines.append(
+        "  unique-domain ratio: popular "
+        + _pct(result.vs_google_popular.unique_domain_ratio)
+        + " -> niche "
+        + _pct(result.vs_google_niche.unique_domain_ratio)
+    )
+    lines.append(
+        "  cross-model overlap: popular "
+        + _pct(result.vs_google_popular.cross_model_overlap)
+        + " -> niche "
+        + _pct(result.vs_google_niche.cross_model_overlap)
+    )
+    return "\n".join(lines)
+
+
+def render_fig3(report: TypologyReport) -> str:
+    """Figure 3: source category distribution by intent and model."""
+    order = [t for t in (SourceType.EARNED, SourceType.SOCIAL, SourceType.BRAND)]
+    lines = [
+        "Figure 3 — Source category distribution by intent and model",
+        f"  {'system':<11} " + " ".join(f"{t.value:>7}" for t in order) + "   (aggregate)",
+    ]
+    for system in report.systems:
+        shares = report.overall[system]
+        lines.append(
+            f"  {system:<11} " + " ".join(_pct(shares[t]) for t in order)
+        )
+    for intent in Intent:
+        lines.append(f"  -- {intent.value} --")
+        for system in report.systems:
+            shares = report.by_intent[intent][system]
+            lines.append(
+                f"  {system:<11} " + " ".join(_pct(shares[t]) for t in order)
+            )
+    return "\n".join(lines)
+
+
+def _render_freshness(report: FreshnessReport, label: str) -> list[str]:
+    lines = [f"  -- {label} --"]
+    for engine, age in sorted(report.median_age_days.items(), key=lambda kv: kv[1]):
+        summary = report.age_summary.get(engine)
+        spread = (
+            f"  (p25 {summary.p25:6.0f}  p75 {summary.p75:6.0f}  n={summary.count})"
+            if summary
+            else ""
+        )
+        significance = ""
+        google_ages = report.ages.get("Google", [])
+        engine_ages = report.ages.get(engine, [])
+        if engine != "Google" and len(google_ages) >= 8 and len(engine_ages) >= 8:
+            try:
+                test = mann_whitney_u(engine_ages, google_ages)
+            except ValueError:
+                pass
+            else:
+                marker = "*" if test.significant() else " "
+                significance = f"  vs Google p={test.p_value:.3g}{marker}"
+        lines.append(f"  {engine:<11} median {age:6.0f} days{spread}{significance}")
+    return lines
+
+
+def render_fig4(result: Fig4Result) -> str:
+    """Figure 4 / Section 2.3: article ages and domain concentration."""
+    lines = ["Figure 4 — Article age in days by engine and vertical"]
+    lines.extend(_render_freshness(result.electronics, "Consumer Electronics"))
+    lines.extend(_render_freshness(result.automotive, "Automotive"))
+    lines.append("Section 2.3 — Domain concentration (HHI; top cited domains)")
+    for report in (result.electronics_concentration, result.automotive_concentration):
+        lines.append(f"  -- {report.vertical_group} --")
+        for engine, hhi in report.ordered_by_concentration():
+            profile = report.engines[engine]
+            leaders = ", ".join(d for d, __ in profile.top_domains[:4])
+            lines.append(
+                f"  {engine:<11} HHI {hhi:.3f}  "
+                f"({profile.distinct_domains} domains)  top: {leaders}"
+            )
+    return "\n".join(lines)
+
+
+def render_table1(result: Table1Result) -> str:
+    """Table 1: SS and ESI perturbation sensitivity."""
+    lines = [
+        "Table 1 — Snippet Shuffle (SS) and ESI perturbations",
+        f"  {'Setting':<18} {'SS (Normal)':>12} {'SS (Strict)':>12} {'ESI':>8}",
+    ]
+    for setting in ("popular", "niche"):
+        lines.append(
+            f"  {setting.title() + ' Entities':<18} "
+            f"{result.ss_normal[setting]:>12.2f} "
+            f"{result.ss_strict[setting]:>12.2f} "
+            f"{result.esi[setting]:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_table2(result: Table2Result) -> str:
+    """Table 2: Kendall tau between holistic and pairwise rankings."""
+    lines = [
+        "Table 2 — Kendall tau between one-shot R and pairwise-derived R'",
+        f"  {'Setting':<18} {'tau (Normal)':>13} {'tau (Strict)':>13}",
+    ]
+    for setting in ("popular", "niche"):
+        lines.append(
+            f"  {setting.title() + ' Entities':<18} "
+            f"{result.tau_normal[setting]:>13.3f} "
+            f"{result.tau_strict[setting]:>13.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_table3(result: Table3Result) -> str:
+    """Table 3: representative citation-miss rates (SUV queries)."""
+    names = list(result.representative)
+    lines = [
+        "Table 3 — Representative citation-miss rates (SUV queries)",
+        "  Entity    " + " ".join(f"{n:>10}" for n in names),
+        "  Miss Rate " + " ".join(f"{result.representative[n]:>10.2f}" for n in names),
+        f"  overall miss rate: {result.overall_miss_rate:.2f}",
+    ]
+    return "\n".join(lines)

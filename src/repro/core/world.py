@@ -1,0 +1,114 @@
+"""World assembly: everything the experiments need, from one seed.
+
+A :class:`World` bundles the synthetic web (corpus + registry), the
+entity catalog, the Google stand-in, the engine fleet, and a reference
+LLM (the "gpt-4o with deterministic settings" of Section 3.1).
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass, field
+
+from repro.core.config import StudyConfig
+from repro.engines.base import AnswerEngine
+from repro.engines.registry import build_engines
+from repro.engines.retrieval import Retriever
+from repro.entities.catalog import EntityCatalog, build_default_catalog
+from repro.llm.model import LLMConfig, SimulatedLLM
+from repro.llm.pretraining import PretrainedKnowledge
+from repro.llm.rng import derive_seed
+from repro.search.engine import SearchEngine
+from repro.webgraph.corpus import Corpus, CorpusConfig, CorpusGenerator
+from repro.webgraph.domains import DomainRegistry, build_default_registry
+
+__all__ = ["World"]
+
+_log = logging.getLogger(__name__)
+
+
+@dataclass
+class World:
+    """A fully assembled study environment."""
+
+    config: StudyConfig
+    catalog: EntityCatalog
+    registry: DomainRegistry
+    corpus: Corpus
+    search_engine: SearchEngine
+    engines: dict[str, AnswerEngine]
+    retriever: Retriever
+    reference_llm: SimulatedLLM = field(repr=False)
+
+    @classmethod
+    def build(cls, config: StudyConfig | None = None) -> "World":
+        """Assemble a world from a config (defaults to ``StudyConfig()``)."""
+        config = config or StudyConfig()
+        catalog = build_default_catalog()
+        registry = build_default_registry()
+        corpus_config = CorpusConfig(
+            seed=config.seed,
+            pages_per_volume_unit=2.0 * config.corpus_scale,
+            study_date=config.study_date,
+        )
+        started = time.perf_counter()
+        corpus = CorpusGenerator(registry, catalog, corpus_config).generate()
+        _log.info(
+            "corpus generated: %d pages, %d domains, %d link edges (%.2fs)",
+            len(corpus), len(corpus.domains()), corpus.link_graph.edge_count(),
+            time.perf_counter() - started,
+        )
+        return cls.assemble(config, catalog, registry, corpus)
+
+    @classmethod
+    def assemble(
+        cls,
+        config: StudyConfig,
+        catalog: EntityCatalog,
+        registry: DomainRegistry,
+        corpus: Corpus,
+    ) -> "World":
+        """Assemble a world around an explicit corpus.
+
+        Used by :mod:`repro.aeo.interventions` to rebuild the ecosystem
+        after injecting synthetic content; :meth:`build` is this plus the
+        default corpus generation.
+        """
+        started = time.perf_counter()
+        search_engine = SearchEngine(corpus, registry)
+        engines = build_engines(
+            corpus, registry, catalog, search_engine, study_seed=config.seed
+        )
+        retriever = Retriever(corpus, registry, search_engine)
+        _log.info(
+            "ecosystem assembled: %d engines, index of %d docs (%.2fs)",
+            len(engines), search_engine.index.doc_count,
+            time.perf_counter() - started,
+        )
+
+        # The Section 3 experiments probe one model ("gpt-4o with
+        # deterministic settings"); the reference LLM reuses the GPT-4o
+        # engine's seed so both views of the model agree.
+        model_seed = derive_seed("model", config.seed, "GPT-4o")
+        knowledge = PretrainedKnowledge(corpus, catalog, model_seed=model_seed)
+        reference_llm = SimulatedLLM(knowledge, LLMConfig(seed=model_seed))
+
+        return cls(
+            config=config,
+            catalog=catalog,
+            registry=registry,
+            corpus=corpus,
+            search_engine=search_engine,
+            engines=engines,
+            retriever=retriever,
+            reference_llm=reference_llm,
+        )
+
+    def ai_engines(self) -> dict[str, AnswerEngine]:
+        """The four generative engines (everything but Google)."""
+        return {name: e for name, e in self.engines.items() if name != "Google"}
+
+    def google(self) -> AnswerEngine:
+        """The traditional-search baseline."""
+        return self.engines["Google"]

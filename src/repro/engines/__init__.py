@@ -1,0 +1,34 @@
+"""The five systems the paper compares.
+
+* :class:`GoogleEngine` — traditional web search: the answer is the
+  organic top-10 (SEO logic).
+* :class:`Gpt4oEngine`, :class:`ClaudeEngine`, :class:`GeminiEngine`,
+  :class:`PerplexityEngine` — generative answer engines, each with its own
+  retrieval and sourcing persona (:mod:`repro.engines.retrieval`) and its
+  own simulated LLM.
+
+:func:`build_engines` constructs the calibrated fleet from a world.
+"""
+
+from repro.engines.base import Answer, AnswerEngine, Citation
+from repro.engines.claude import ClaudeEngine
+from repro.engines.gemini import GeminiEngine
+from repro.engines.google import GoogleEngine
+from repro.engines.gpt4o import Gpt4oEngine
+from repro.engines.perplexity import PerplexityEngine
+from repro.engines.registry import build_engines
+from repro.engines.retrieval import Retriever, SourcingPolicy
+
+__all__ = [
+    "Answer",
+    "AnswerEngine",
+    "Citation",
+    "ClaudeEngine",
+    "GeminiEngine",
+    "GoogleEngine",
+    "Gpt4oEngine",
+    "PerplexityEngine",
+    "Retriever",
+    "SourcingPolicy",
+    "build_engines",
+]

@@ -1,0 +1,109 @@
+"""Engine interface and answer model.
+
+Every system under comparison — Google included — implements
+:class:`AnswerEngine`: a query goes in, an :class:`Answer` with cited URLs
+comes out.  The analysis pipeline only ever sees answers, which is exactly
+the paper's measurement boundary (it scrapes citations from live engine
+output).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.entities.queries import Query
+from repro.webgraph.pages import Page
+from repro.webgraph.urls import normalize_url
+
+__all__ = ["Answer", "AnswerEngine", "Citation"]
+
+
+@dataclass(frozen=True)
+class Citation:
+    """One cited source."""
+
+    url: str
+    domain: str
+    page: Page | None = None
+
+    def __post_init__(self) -> None:
+        if not self.url:
+            raise ValueError("citation URL must be non-empty")
+
+
+@dataclass(frozen=True)
+class Answer:
+    """An engine's response to a query."""
+
+    engine: str
+    query_id: str
+    text: str
+    citations: tuple[Citation, ...] = ()
+    ranked_entities: tuple[str, ...] = ()
+
+    def cited_urls(self) -> list[str]:
+        """Cited URLs in citation order."""
+        return [c.url for c in self.citations]
+
+    def cited_domains(self) -> set[str]:
+        """Registrable domains of the citations (normalized, deduplicated).
+
+        Citations that cannot be normalized are dropped, as the analysis
+        pipeline treats unusable citations.
+        """
+        domains = set()
+        for citation in self.citations:
+            domain = normalize_url(citation.url)
+            if domain is not None:
+                domains.add(domain)
+        return domains
+
+
+class AnswerEngine(abc.ABC):
+    """A system that answers queries with cited sources.
+
+    Engines are deterministic — the same query always yields the same
+    answer — so :meth:`answer` memoizes per query identity.  Audits and
+    intervention studies that revisit the same workload pay for each
+    query once.  Subclasses implement :meth:`_answer_uncached`.
+    """
+
+    #: Display name used in figures and tables ("Google", "GPT-4o", ...).
+    name: str = "engine"
+
+    #: Cache entries kept per engine; oldest evicted beyond this.
+    cache_limit: int = 4096
+
+    def __init__(self) -> None:
+        self._answer_cache: dict[tuple, Answer] = {}
+
+    @abc.abstractmethod
+    def _answer_uncached(self, query: Query) -> Answer:
+        """Answer ``query``; must be deterministic per (engine, query)."""
+
+    @staticmethod
+    def _cache_key(query: Query) -> tuple:
+        return (
+            query.id, query.text, query.kind, query.vertical,
+            query.intent, query.entities, query.top_k,
+        )
+
+    def answer(self, query: Query) -> Answer:
+        """Answer ``query`` (memoized)."""
+        # Subclasses that skip __init__ still work, just uncached.
+        cache = getattr(self, "_answer_cache", None)
+        if cache is None:
+            return self._answer_uncached(query)
+        key = self._cache_key(query)
+        cached = cache.get(key)
+        if cached is None:
+            cached = self._answer_uncached(query)
+            if len(cache) >= self.cache_limit:
+                cache.pop(next(iter(cache)))
+            cache[key] = cached
+        return cached
+
+    def answer_all(self, queries: list[Query]) -> list[Answer]:
+        """Answer a workload; convenience for experiment runners."""
+        return [self.answer(query) for query in queries]

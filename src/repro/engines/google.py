@@ -1,0 +1,42 @@
+"""Google: the traditional-search baseline.
+
+Its "answer" is the organic top-10 result list — no synthesis, no LLM.
+Citations are the result URLs, which is exactly what the paper compares
+the generative engines' citations against.
+"""
+
+from __future__ import annotations
+
+from repro.engines.base import Answer, AnswerEngine, Citation
+from repro.entities.queries import Query
+from repro.search.engine import SearchEngine
+
+__all__ = ["GoogleEngine"]
+
+
+class GoogleEngine(AnswerEngine):
+    """Organic web search presented as an answer."""
+
+    name = "Google"
+
+    def __init__(self, search_engine: SearchEngine, results_per_query: int = 10) -> None:
+        super().__init__()
+        if results_per_query < 1:
+            raise ValueError("results_per_query must be at least 1")
+        self._search = search_engine
+        self._k = results_per_query
+
+    def _answer_uncached(self, query: Query) -> Answer:
+        results = self._search.search(query.text, k=self._k)
+        lines = [f"Results for: {query.text}", ""]
+        lines.extend(
+            f"{r.rank}. {r.page.title} — {r.url}" for r in results
+        )
+        return Answer(
+            engine=self.name,
+            query_id=query.id,
+            text="\n".join(lines),
+            citations=tuple(
+                Citation(url=r.url, domain=r.domain, page=r.page) for r in results
+            ),
+        )

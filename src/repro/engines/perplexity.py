@@ -1,0 +1,54 @@
+"""Perplexity Sonar Pro (search mode: web).
+
+Persona, from the paper's measurements: the closest of the AI engines to
+Google (15.2% overlap, Figure 1), the broadest source mix — "Perplexity
+mixed sources more broadly, including YouTube and BestBuy" (Section 2.3)
+— with substantial brand/retailer presence (50% earned / 39% brand,
+Figure 3) and ages between the AI leaders and Google (Figure 4).
+"""
+
+from __future__ import annotations
+
+from repro.engines.generative import GenerativeEngine
+from repro.engines.retrieval import Retriever, SourcingPolicy
+from repro.entities.catalog import EntityCatalog
+from repro.llm.model import SimulatedLLM
+
+__all__ = ["PERPLEXITY_POLICY", "PerplexityEngine"]
+
+
+PERPLEXITY_POLICY = SourcingPolicy(
+    earned_affinity=0.5,
+    brand_affinity=0.38,
+    social_affinity=0.38,
+    retailer_affinity=0.15,
+    freshness_weight=0.26,
+    freshness_half_life_days=160.0,
+    authority_weight=0.12,
+    quality_weight=0.15,
+    relevance_weight=0.55,
+    familiarity_pull=0.15,
+    candidate_pool=44,
+    citations_per_answer=8,
+    max_per_domain=2,
+    reformulation_terms=("2025",),
+    transactional_brand_boost=0.55,
+    transactional_earned_drop=0.25,
+    informational_brand_boost=0.2,
+    selection_jitter=0.22,
+)
+
+
+class PerplexityEngine(GenerativeEngine):
+    """Perplexity Sonar Pro in web search mode."""
+
+    name = "Perplexity"
+
+    def __init__(
+        self,
+        retriever: Retriever,
+        llm: SimulatedLLM,
+        catalog: EntityCatalog,
+        policy: SourcingPolicy = PERPLEXITY_POLICY,
+    ) -> None:
+        super().__init__(retriever, llm, catalog, policy)

@@ -1,0 +1,44 @@
+"""The subject matter of the study: verticals, entities and queries.
+
+The paper queries five systems about consumer entities (smartphones,
+airlines, SUVs, ...) across ten topics, splits entities into *popular*
+(abundant pre-training data) and *niche* (scarce), and types queries by
+intent (informational / consideration / transactional).  This package
+provides the catalog and seeded query generators for all of that.
+"""
+
+from repro.entities.catalog import Entity, EntityCatalog, build_default_catalog
+from repro.entities.intents import Intent
+from repro.entities.queries import (
+    PopularityClass,
+    Query,
+    QueryKind,
+    comparison_queries,
+    intent_queries,
+    ranking_queries,
+)
+from repro.entities.verticals import (
+    CONSUMER_TOPICS,
+    Vertical,
+    VerticalGroup,
+    all_verticals,
+    get_vertical,
+)
+
+__all__ = [
+    "CONSUMER_TOPICS",
+    "Entity",
+    "EntityCatalog",
+    "Intent",
+    "PopularityClass",
+    "Query",
+    "QueryKind",
+    "Vertical",
+    "VerticalGroup",
+    "all_verticals",
+    "build_default_catalog",
+    "comparison_queries",
+    "get_vertical",
+    "intent_queries",
+    "ranking_queries",
+]

@@ -1,0 +1,382 @@
+"""Entity catalog with popularity and quality latents.
+
+Two latent variables drive the paper's Section 3 phenomena:
+
+* **popularity** — a proxy for pre-training exposure: how much text about
+  the entity a web-scale pre-training corpus contains.  The corpus
+  generator scales per-entity page counts by it, and the simulated LLM's
+  prior precision grows with it.
+* **true_quality** — the entity's actual merit for its vertical's canonical
+  ranking question.  Editorial pages take stances correlated with it, and
+  the LLM's prior is a noisy estimate of it.
+
+Both are on ``[0, 1]``.  The split into popular vs. niche entities (the
+axis of Figure 2 and Tables 1-2) is by popularity threshold.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.entities.verticals import get_vertical
+
+__all__ = ["Entity", "EntityCatalog", "POPULARITY_THRESHOLD", "build_default_catalog"]
+
+
+# Entities at or above this popularity are "popular"; below, "niche".
+POPULARITY_THRESHOLD = 0.55
+
+
+@dataclass(frozen=True)
+class Entity:
+    """One ranked/compared entity (a brand, product line, or firm)."""
+
+    id: str
+    name: str
+    vertical: str
+    popularity: float
+    true_quality: float
+    brand_domain: str | None = None
+    aliases: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.popularity <= 1.0:
+            raise ValueError(f"popularity must be in [0, 1], got {self.popularity}")
+        if not 0.0 <= self.true_quality <= 1.0:
+            raise ValueError(f"true_quality must be in [0, 1], got {self.true_quality}")
+        get_vertical(self.vertical)  # validates the vertical id
+
+    @property
+    def is_popular(self) -> bool:
+        """Popular vs. niche split used throughout Sections 2-3."""
+        return self.popularity >= POPULARITY_THRESHOLD
+
+    def surface_forms(self) -> tuple[str, ...]:
+        """All names under which pages may mention the entity."""
+        return (self.name, *self.aliases)
+
+
+class EntityCatalog:
+    """Id-unique, insertion-ordered collection of entities."""
+
+    def __init__(self, entities: Iterable[Entity] = ()) -> None:
+        self._by_id: dict[str, Entity] = {}
+        self._by_vertical: dict[str, list[Entity]] = {}
+        for entity in entities:
+            self.add(entity)
+
+    def add(self, entity: Entity) -> None:
+        if entity.id in self._by_id:
+            raise ValueError(f"entity id {entity.id!r} already in catalog")
+        self._by_id[entity.id] = entity
+        self._by_vertical.setdefault(entity.vertical, []).append(entity)
+
+    def get(self, entity_id: str) -> Entity:
+        try:
+            return self._by_id[entity_id]
+        except KeyError:
+            raise KeyError(f"unknown entity {entity_id!r}") from None
+
+    def __contains__(self, entity_id: str) -> bool:
+        return entity_id in self._by_id
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[Entity]:
+        return iter(self._by_id.values())
+
+    def in_vertical(self, vertical_id: str) -> list[Entity]:
+        """Entities in a vertical, insertion-ordered (empty if none)."""
+        return list(self._by_vertical.get(vertical_id, []))
+
+    def popular(self, vertical_id: str | None = None) -> list[Entity]:
+        """Popular entities, optionally restricted to one vertical."""
+        pool = self.in_vertical(vertical_id) if vertical_id else list(self)
+        return [e for e in pool if e.is_popular]
+
+    def niche(self, vertical_id: str | None = None) -> list[Entity]:
+        """Niche entities, optionally restricted to one vertical."""
+        pool = self.in_vertical(vertical_id) if vertical_id else list(self)
+        return [e for e in pool if not e.is_popular]
+
+    def verticals(self) -> list[str]:
+        """Vertical ids that have at least one entity."""
+        return list(self._by_vertical)
+
+
+def _entity(
+    vertical: str,
+    name: str,
+    popularity: float,
+    quality: float,
+    domain: str | None,
+    aliases: tuple[str, ...] = (),
+) -> Entity:
+    slug = name.lower().replace(" ", "_").replace("&", "and").replace("'", "")
+    return Entity(
+        id=f"{vertical}:{slug}",
+        name=name,
+        vertical=vertical,
+        popularity=popularity,
+        true_quality=quality,
+        brand_domain=domain,
+        aliases=aliases,
+    )
+
+
+def build_default_catalog() -> EntityCatalog:
+    """The study's entity population.
+
+    Popularity values are calibrated so each consumer vertical has a core
+    of high-exposure brands and a tail of niche ones, and the SUV vertical
+    reproduces Table 3's citation-coverage gradient (Toyota/Honda high,
+    Cadillac/Infiniti low).
+    """
+    catalog = EntityCatalog()
+
+    # --- Smartphones.
+    for args in [
+        ("Apple", 0.99, 0.92, "apple.com", ("iPhone",)),
+        ("Samsung", 0.97, 0.90, "samsung.com", ("Galaxy",)),
+        ("Google", 0.95, 0.86, "google.com", ("Pixel",)),
+        ("OnePlus", 0.72, 0.80, "oneplus.com"),
+        ("Xiaomi", 0.70, 0.76, "mi.com"),
+        ("Motorola", 0.68, 0.70, "motorola.com"),
+        ("Sony", 0.75, 0.74, "sony.com", ("Xperia",)),
+        ("Nothing", 0.45, 0.72, "nothing.tech"),
+        ("Asus", 0.58, 0.73, "asus.com", ("ROG Phone",)),
+        ("Fairphone", 0.25, 0.66, "fairphone.com"),
+        ("Honor", 0.38, 0.68, "honor.com"),
+    ]:
+        catalog.add(_entity("smartphones", *args))
+
+    # --- Laptops.
+    for args in [
+        ("Apple MacBook", 0.98, 0.93, "apple.com", ("MacBook",)),
+        ("Dell", 0.93, 0.86, "dell.com", ("XPS",)),
+        ("Lenovo", 0.91, 0.85, "lenovo.com", ("ThinkPad",)),
+        ("HP", 0.90, 0.80, "hp.com", ("Spectre",)),
+        ("Asus Laptops", 0.78, 0.81, "asus.com", ("ZenBook",)),
+        ("Acer", 0.72, 0.72, "acer.com"),
+        ("Microsoft Surface", 0.85, 0.79, "microsoft.com", ("Surface",)),
+        ("Razer", 0.60, 0.74, "razer.com"),
+        ("Framework", 0.35, 0.78, "frame.work"),
+        ("LG Gram", 0.48, 0.73, "lg.com", ("Gram",)),
+        ("Samsung Galaxy Book", 0.66, 0.74, "samsung.com", ("Galaxy Book",)),
+    ]:
+        catalog.add(_entity("laptops", *args))
+
+    # --- Smartwatches.
+    for args in [
+        ("Apple Watch", 0.98, 0.91, "apple.com", ("Watch Ultra",)),
+        ("Samsung Galaxy Watch", 0.90, 0.84, "samsung.com", ("Galaxy Watch",)),
+        ("Garmin", 0.82, 0.90, "garmin.com", ("Fenix", "Forerunner")),
+        ("Fitbit", 0.84, 0.72, "fitbit.com"),
+        ("Google Pixel Watch", 0.80, 0.76, "google.com", ("Pixel Watch",)),
+        ("Amazfit", 0.45, 0.68, "amazfit.com"),
+        ("Coros", 0.35, 0.84, "coros.com", ("Vertix", "Pace")),
+        ("Polar", 0.48, 0.78, "polar.com", ("Vantage",)),
+        ("Suunto", 0.40, 0.76, "suunto.com"),
+        ("Withings", 0.38, 0.70, "withings.com"),
+        ("Mobvoi", 0.22, 0.62, "mobvoi.com", ("TicWatch",)),
+    ]:
+        catalog.add(_entity("smartwatches", *args))
+
+    # --- Electric cars.
+    for args in [
+        ("Tesla", 0.99, 0.82, "tesla.com", ("Model 3", "Model Y")),
+        ("Hyundai EV", 0.85, 0.86, "hyundai.com", ("Ioniq",)),
+        ("Kia EV", 0.83, 0.85, "kia.com", ("EV6", "EV9")),
+        ("Ford EV", 0.88, 0.76, "ford.com", ("Mustang Mach-E",)),
+        ("Chevrolet EV", 0.82, 0.75, "chevrolet.com", ("Bolt", "Equinox EV")),
+        ("BMW EV", 0.87, 0.83, "bmw.com", ("i4", "iX")),
+        ("Rivian", 0.62, 0.80, "rivian.com", ("R1T", "R1S")),
+        ("Lucid", 0.50, 0.81, "lucidmotors.com", ("Air",)),
+        ("Polestar", 0.52, 0.78, "polestar.com"),
+        ("Volkswagen EV", 0.80, 0.72, "vw.com", ("ID.4",)),
+        ("Nissan EV", 0.78, 0.70, "nissanusa.com", ("Leaf", "Ariya")),
+        ("Fisker", 0.28, 0.48, "fiskerinc.com", ("Ocean",)),
+    ]:
+        catalog.add(_entity("electric_cars", *args))
+
+    # --- SUVs (Table 3's citation-coverage gradient lives here).
+    for args in [
+        ("Toyota", 0.99, 0.92, "toyota.com", ("RAV4", "Highlander")),
+        ("Honda", 0.97, 0.90, "honda.com", ("CR-V", "Pilot")),
+        ("Kia", 0.76, 0.85, "kia.com", ("Telluride", "Sorento")),
+        ("Hyundai", 0.86, 0.84, "hyundai.com", ("Tucson", "Palisade")),
+        ("Chevrolet", 0.74, 0.74, "chevrolet.com", ("Tahoe", "Traverse")),
+        ("Ford", 0.90, 0.76, "ford.com", ("Explorer", "Bronco")),
+        ("Mazda", 0.76, 0.86, "mazdausa.com", ("CX-5", "CX-90")),
+        ("Subaru", 0.82, 0.85, "subaru.com", ("Outback", "Forester")),
+        ("Jeep", 0.85, 0.68, "jeep.com", ("Grand Cherokee",)),
+        ("Nissan", 0.83, 0.72, "nissanusa.com", ("Rogue", "Pathfinder")),
+        ("Cadillac", 0.47, 0.73, "cadillac.com", ("XT5", "Escalade")),
+        ("Infiniti", 0.42, 0.69, "infiniti.com", ("QX60",)),
+        ("Genesis", 0.46, 0.82, "genesis.com", ("GV70", "GV80")),
+        ("Lincoln", 0.48, 0.74, "lincoln.com", ("Aviator",)),
+        ("Buick", 0.50, 0.70, "buick.com", ("Enclave",)),
+        ("Acura", 0.58, 0.79, "acura.com", ("MDX", "RDX")),
+    ]:
+        catalog.add(_entity("suvs", *args))
+
+    # --- Athletic shoes.
+    for args in [
+        ("Nike", 0.99, 0.85, "nike.com", ("Pegasus", "Vaporfly")),
+        ("Adidas", 0.97, 0.84, "adidas.com", ("Ultraboost", "Adizero")),
+        ("New Balance", 0.88, 0.86, "newbalance.com"),
+        ("Asics", 0.85, 0.88, "asics.com", ("Gel-Kayano", "Novablast")),
+        ("Brooks", 0.78, 0.89, "brooksrunning.com", ("Ghost", "Glycerin")),
+        ("Hoka", 0.80, 0.87, "hoka.com", ("Clifton", "Speedgoat")),
+        ("Saucony", 0.68, 0.84, "saucony.com", ("Endorphin",)),
+        ("On Running", 0.70, 0.78, "on.com", ("Cloudmonster",)),
+        ("Altra", 0.42, 0.79, "altrarunning.com", ("Lone Peak",)),
+        ("Topo Athletic", 0.25, 0.75, "topoathletic.com"),
+        ("Mizuno", 0.50, 0.80, "mizunousa.com", ("Wave Rider",)),
+    ]:
+        catalog.add(_entity("athletic_shoes", *args))
+
+    # --- Skin care.
+    for args in [
+        ("CeraVe", 0.92, 0.86, "cerave.com"),
+        ("La Roche-Posay", 0.88, 0.88, "laroche-posay.us"),
+        ("Neutrogena", 0.93, 0.76, "neutrogena.com"),
+        ("The Ordinary", 0.86, 0.82, "theordinary.com"),
+        ("Cetaphil", 0.87, 0.78, "cetaphil.com"),
+        ("SkinCeuticals", 0.66, 0.90, "skinceuticals.com"),
+        ("Paula's Choice", 0.64, 0.87, "paulaschoice.com"),
+        ("Olay", 0.90, 0.74, "olay.com"),
+        ("Drunk Elephant", 0.62, 0.75, "drunkelephant.com"),
+        ("Supergoop", 0.48, 0.81, "supergoop.com"),
+        ("Stratia", 0.18, 0.79, "stratiaskin.com"),
+        ("Naturium", 0.32, 0.77, "naturium.com"),
+    ]:
+        catalog.add(_entity("skincare", *args))
+
+    # --- Streaming services.
+    for args in [
+        ("Netflix", 0.99, 0.85, "netflix.com"),
+        ("Disney+", 0.95, 0.82, "disneyplus.com", ("Disney Plus",)),
+        ("Max", 0.88, 0.84, "max.com", ("HBO Max",)),
+        ("Amazon Prime Video", 0.94, 0.78, "amazon.com", ("Prime Video",)),
+        ("Hulu", 0.90, 0.79, "hulu.com"),
+        ("Apple TV+", 0.86, 0.83, "apple.com", ("Apple TV Plus",)),
+        ("Paramount+", 0.78, 0.70, "paramountplus.com"),
+        ("Peacock", 0.74, 0.68, "peacocktv.com"),
+        ("Crunchyroll", 0.60, 0.80, "crunchyroll.com"),
+        ("Mubi", 0.28, 0.78, "mubi.com"),
+        ("Criterion Channel", 0.24, 0.84, "criterionchannel.com"),
+        ("Tubi", 0.56, 0.66, "tubitv.com"),
+    ]:
+        catalog.add(_entity("streaming", *args))
+
+    # --- Airlines.
+    for args in [
+        ("Delta", 0.95, 0.86, "delta.com", ("Delta Air Lines",)),
+        ("United", 0.93, 0.78, "united.com", ("United Airlines",)),
+        ("American Airlines", 0.92, 0.72, "aa.com"),
+        ("Southwest", 0.90, 0.77, "southwest.com"),
+        ("JetBlue", 0.80, 0.75, "jetblue.com"),
+        ("Alaska Airlines", 0.74, 0.84, "alaskaair.com"),
+        ("Emirates", 0.85, 0.90, "emirates.com"),
+        ("Singapore Airlines", 0.78, 0.93, "singaporeair.com"),
+        ("Qatar Airways", 0.76, 0.92, "qatarairways.com"),
+        ("Air Canada", 0.72, 0.70, "aircanada.com"),
+        ("Breeze Airways", 0.30, 0.68, "flybreeze.com"),
+        ("French Bee", 0.15, 0.64, "frenchbee.com"),
+    ]:
+        catalog.add(_entity("airlines", *args))
+
+    # --- Hotels.
+    for args in [
+        ("Marriott", 0.94, 0.83, "marriott.com"),
+        ("Hilton", 0.93, 0.82, "hilton.com"),
+        ("Hyatt", 0.85, 0.86, "hyatt.com"),
+        ("IHG", 0.80, 0.76, "ihg.com", ("Holiday Inn",)),
+        ("Four Seasons", 0.82, 0.94, "fourseasons.com"),
+        ("Ritz-Carlton", 0.84, 0.93, "ritzcarlton.com"),
+        ("Accor", 0.70, 0.75, "accor.com"),
+        ("Wyndham", 0.72, 0.66, "wyndhamhotels.com"),
+        ("Best Western", 0.75, 0.64, "bestwestern.com"),
+        ("Aman", 0.40, 0.95, "aman.com"),
+        ("Graduate Hotels", 0.22, 0.74, "graduatehotels.com"),
+        ("citizenM", 0.28, 0.78, "citizenm.com"),
+    ]:
+        catalog.add(_entity("hotels", *args))
+
+    # --- Credit cards.
+    for args in [
+        ("Chase Sapphire", 0.94, 0.89, "chase.com", ("Sapphire Preferred", "Sapphire Reserve")),
+        ("Amex Gold", 0.92, 0.87, "americanexpress.com", ("American Express Gold",)),
+        ("Amex Platinum", 0.91, 0.84, "americanexpress.com", ("American Express Platinum",)),
+        ("Capital One Venture", 0.88, 0.85, "capitalone.com", ("Venture X",)),
+        ("Citi Double Cash", 0.82, 0.80, "citi.com"),
+        ("Discover it", 0.84, 0.78, "discover.com"),
+        ("Wells Fargo Active Cash", 0.74, 0.77, "wellsfargo.com"),
+        ("Bank of America Customized Cash", 0.72, 0.72, "bankofamerica.com"),
+        ("Bilt Mastercard", 0.46, 0.83, "biltrewards.com", ("Bilt",)),
+        ("Apple Card", 0.86, 0.74, "apple.com"),
+        ("US Bank Altitude", 0.38, 0.76, "usbank.com", ("Altitude Reserve",)),
+    ]:
+        catalog.add(_entity("credit_cards", *args))
+
+    # --- Niche vertical: Toronto family law firms (all synthetic, all niche).
+    for args in [
+        ("Hargrave Family Law", 0.10, 0.88, "hargravefamilylaw.ca"),
+        ("Lakeside Law Group", 0.12, 0.84, "lakesidelaw.ca"),
+        ("Bloor Street Legal", 0.09, 0.80, "bloorstreetlegal.ca"),
+        ("Chen & Osei LLP", 0.11, 0.86, "chenosei.ca"),
+        ("Yorkville Family Lawyers", 0.13, 0.78, "yorkvillefamilylaw.ca"),
+        ("Harbourfront Legal", 0.08, 0.75, "harbourfrontlegal.ca"),
+        ("Meridian Family Law", 0.10, 0.82, "meridianfamilylaw.ca"),
+        ("Parkdale Law Office", 0.07, 0.72, "parkdalelaw.ca"),
+        ("Rosedale Legal Partners", 0.12, 0.85, "rosedalelegal.ca"),
+        ("Junction Family Law", 0.06, 0.70, "junctionfamilylaw.ca"),
+        ("Kingsway Legal Group", 0.09, 0.77, "kingswaylegal.ca"),
+        ("Danforth Family Advocates", 0.08, 0.81, "danforthadvocates.ca"),
+        ("Leslieville Law Chambers", 0.07, 0.74, "leslievillelaw.ca"),
+        ("Annex Family Counsel", 0.11, 0.83, "annexfamilycounsel.ca"),
+    ]:
+        catalog.add(_entity("family_law_toronto", *args))
+
+    # --- Niche vertical: ultramarathon training watches.
+    for args in [
+        ("Garmin Enduro", 0.40, 0.90, "garmin.com", ("Enduro",)),
+        ("Coros Vertix", 0.30, 0.88, "coros.com", ("Vertix 2",)),
+        ("Suunto Vertical", 0.26, 0.82, "suunto.com"),
+        ("Polar Grit X", 0.28, 0.80, "polar.com", ("Grit X Pro",)),
+        ("Garmin Fenix Pro", 0.44, 0.87, "garmin.com", ("Fenix 8",)),
+        ("Apple Watch Ultra Trail", 0.50, 0.72, "apple.com", ("Watch Ultra 2",)),
+        ("Amazfit T-Rex", 0.20, 0.70, "amazfit.com", ("T-Rex Ultra",)),
+        ("Coros Apex Pro", 0.24, 0.84, "coros.com", ("Apex 2 Pro",)),
+        ("Suunto Race", 0.22, 0.79, "suunto.com"),
+        ("Polar Pacer Pro Trail", 0.18, 0.74, "polar.com"),
+        ("Garmin Instinct Tactix", 0.32, 0.81, "garmin.com", ("Instinct",)),
+        ("COROS Dura", 0.14, 0.76, "coros.com"),
+        ("Wahoo Elemnt Rival", 0.16, 0.66, "wahoofitness.com", ("Elemnt Rival",)),
+        ("Casio Pro Trek Ultra", 0.15, 0.64, "casio.com", ("Pro Trek",)),
+    ]:
+        catalog.add(_entity("ultrarunning_gear", *args))
+
+    # --- Niche vertical: home espresso machines for latte art.
+    for args in [
+        ("Breville Dual Boiler", 0.42, 0.86, "breville.com", ("BES920",)),
+        ("Rancilio Silvia", 0.30, 0.80, "ranciliogroup.com", ("Silvia Pro",)),
+        ("Lelit Bianca", 0.18, 0.90, "lelit.com", ("Bianca V3",)),
+        ("Profitec Pro", 0.16, 0.87, "profitec-espresso.com", ("Pro 700",)),
+        ("Gaggia Classic", 0.34, 0.76, "gaggia.com", ("Classic Pro",)),
+        ("La Marzocco Linea Micra", 0.26, 0.92, "lamarzocco.com", ("Linea Micra",)),
+        ("ECM Synchronika", 0.14, 0.89, "ecm.de", ("Synchronika",)),
+        ("Flair 58", 0.12, 0.74, "flairespresso.com"),
+        ("Ascaso Steel Duo", 0.13, 0.82, "ascaso.com", ("Steel Duo",)),
+        ("Bezzera BZ10", 0.10, 0.78, "bezzera.it", ("BZ10",)),
+        ("Quick Mill Vetrano", 0.09, 0.80, "quickmill.it", ("Vetrano",)),
+        ("Sanremo Cube", 0.08, 0.83, "sanremomachines.com", ("Cube",)),
+        ("Decent DE1 Pro", 0.17, 0.88, "decentespresso.com", ("DE1",)),
+        ("Breville Bambino Plus", 0.38, 0.72, "breville.com", ("Bambino",)),
+    ]:
+        catalog.add(_entity("espresso_gear", *args))
+
+    return catalog

@@ -1,0 +1,48 @@
+"""Query-intent taxonomy.
+
+Section 2.2 types queries as informational ("How does Wi-Fi 7 work?"),
+consideration ("Best laptops for students") and transactional ("Buy iPhone
+15"), and shows that AI engines shift their source composition across
+intents far more sharply than Google does.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Intent", "INTENT_TEMPLATES"]
+
+
+class Intent(enum.Enum):
+    """The paper's three-way intent taxonomy."""
+
+    INFORMATIONAL = "informational"
+    CONSIDERATION = "consideration"
+    TRANSACTIONAL = "transactional"
+
+
+# Query templates per intent.  ``{noun}`` is the vertical's plural noun,
+# ``{entity}`` an entity name, ``{keyword}`` a vertical keyword.
+INTENT_TEMPLATES: dict[Intent, tuple[str, ...]] = {
+    Intent.INFORMATIONAL: (
+        "How does {keyword} work in {noun}?",
+        "What is {keyword} and why does it matter for {noun}?",
+        "How to choose {noun} based on {keyword}",
+        "What makes {entity} {noun} different?",
+        "Explain {keyword} in modern {noun}",
+    ),
+    Intent.CONSIDERATION: (
+        "Best {noun} for students",
+        "Best {noun} for professionals in 2025",
+        "Top rated {noun} this year",
+        "{entity} alternatives worth considering",
+        "Is {entity} worth it compared to other {noun}?",
+    ),
+    Intent.TRANSACTIONAL: (
+        "Buy {entity} online",
+        "{entity} best price deals",
+        "Where to buy {entity} today",
+        "{entity} discount and availability",
+        "Order {entity} with fast shipping",
+    ),
+}

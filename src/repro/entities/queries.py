@@ -1,0 +1,263 @@
+"""Seeded query generators for every experiment's workload.
+
+The paper evaluates:
+
+* 1,000 ranking-style queries over ten consumer topics (Figure 1),
+* 200 entity-comparison queries, 100 popular / 100 niche (Figure 2),
+* 300 consumer-electronics queries across three intents (Figure 3),
+* curated ranking queries in electronics + automotive (Figure 4),
+* popular and niche ranking queries for the perturbation study
+  (Tables 1-2) and SUV ranking queries for Table 3.
+
+All generators are pure functions of their seed.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.entities.catalog import EntityCatalog
+from repro.entities.intents import INTENT_TEMPLATES, Intent
+from repro.entities.verticals import CONSUMER_TOPICS, get_vertical
+
+__all__ = [
+    "PopularityClass",
+    "Query",
+    "QueryKind",
+    "comparison_queries",
+    "intent_queries",
+    "ranking_queries",
+]
+
+
+class QueryKind(enum.Enum):
+    """The three query shapes the study uses."""
+
+    RANKING = "ranking"        # "Top 10 most reliable smartphones"
+    COMPARISON = "comparison"  # "Apple or Samsung"
+    INTENT = "intent"          # intent-typed consumer queries (Figure 3)
+
+
+class PopularityClass(enum.Enum):
+    """Whether the query targets popular or niche entities."""
+
+    POPULAR = "popular"
+    NICHE = "niche"
+
+
+_RANKING_SUFFIXES = (
+    "in 2025",
+    "this year",
+    "this season",
+    "right now",
+    "to buy in 2025",
+    "",
+)
+
+
+@dataclass(frozen=True)
+class Query:
+    """A single evaluation query.
+
+    ``entities`` carries the focal entity ids: the compared pair for
+    comparison queries, the ranked candidate pool for ranking queries used
+    in Section 3 (where the perturbation harness needs a fixed candidate
+    set), empty otherwise.
+    """
+
+    id: str
+    text: str
+    kind: QueryKind
+    vertical: str
+    intent: Intent | None = None
+    entities: tuple[str, ...] = ()
+    popularity_class: PopularityClass | None = None
+    top_k: int = 10
+    tokens_hint: tuple[str, ...] = field(default=(), compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.text.strip():
+            raise ValueError("query text must be non-empty")
+        if self.top_k < 1:
+            raise ValueError("top_k must be at least 1")
+        get_vertical(self.vertical)
+
+
+def _class_for_vertical(vertical_id: str, niche_entities: bool) -> PopularityClass:
+    if get_vertical(vertical_id).is_niche or niche_entities:
+        return PopularityClass.NICHE
+    return PopularityClass.POPULAR
+
+
+def ranking_queries(
+    catalog: EntityCatalog,
+    verticals: Sequence[str] = CONSUMER_TOPICS,
+    count: int = 1000,
+    seed: int = 0,
+    *,
+    niche_entities: bool = False,
+    id_prefix: str = "rq",
+) -> list[Query]:
+    """Generate ranking-style queries spread evenly over ``verticals``.
+
+    With ``niche_entities=True`` the candidate pool is the vertical's
+    niche tail (used for the Section 3 niche-entity conditions); otherwise
+    it is the popular core.  Verticals that lack the requested pool fall
+    back to all their entities.
+    """
+    if count < 1:
+        raise ValueError("count must be positive")
+    if not verticals:
+        raise ValueError("at least one vertical is required")
+    rng = random.Random(seed)
+    queries = []
+    for i in range(count):
+        vertical_id = verticals[i % len(verticals)]
+        vertical = get_vertical(vertical_id)
+        qualifier = rng.choice(vertical.qualifiers)
+        suffix = rng.choice(_RANKING_SUFFIXES)
+        top_n = rng.choice((5, 8, 10, 10, 10))
+        text = f"Top {top_n} {qualifier} {vertical.noun}"
+        if suffix:
+            text = f"{text} {suffix}"
+
+        if niche_entities:
+            pool = catalog.niche(vertical_id) or catalog.in_vertical(vertical_id)
+        else:
+            pool = catalog.popular(vertical_id) or catalog.in_vertical(vertical_id)
+        candidates = tuple(e.id for e in pool)
+
+        queries.append(
+            Query(
+                id=f"{id_prefix}-{i:04d}",
+                text=text,
+                kind=QueryKind.RANKING,
+                vertical=vertical_id,
+                entities=candidates,
+                popularity_class=_class_for_vertical(vertical_id, niche_entities),
+                top_k=min(top_n, len(candidates)) if candidates else top_n,
+                tokens_hint=(qualifier,),
+            )
+        )
+    return queries
+
+
+_COMPARISON_TEMPLATES_POPULAR = (
+    "{a} or {b}",
+    "{a} vs {b}: which is better?",
+    "{a} or {b} — which should I choose?",
+    "Comparing {a} and {b}",
+)
+
+_COMPARISON_TEMPLATES_NICHE = (
+    "{a} or {b} for {keyword}",
+    "{a} vs {b} for {keyword}",
+    "{a} or {b}: best for {keyword}?",
+)
+
+
+def comparison_queries(
+    catalog: EntityCatalog,
+    n_popular: int = 100,
+    n_niche: int = 100,
+    seed: int = 0,
+    *,
+    niche_verticals: Sequence[str] | None = None,
+) -> list[Query]:
+    """Generate the Figure 2 workload: popular and niche entity pairs.
+
+    Popular pairs come from the popular cores of the consumer topics
+    ("Apple or Samsung"); niche pairs come from niche entity pools —
+    either the consumer topics' niche tails or dedicated niche verticals —
+    and are qualified with a topical keyword, mirroring the paper's
+    "Garmin or Coros for ultramarathon training" example.
+    """
+    rng = random.Random(seed)
+    queries = []
+
+    popular_verticals = [v for v in CONSUMER_TOPICS if len(catalog.popular(v)) >= 2]
+    if not popular_verticals and n_popular:
+        raise ValueError("no vertical has two popular entities")
+    for i in range(n_popular):
+        vertical_id = popular_verticals[i % len(popular_verticals)]
+        a, b = rng.sample(catalog.popular(vertical_id), 2)
+        template = rng.choice(_COMPARISON_TEMPLATES_POPULAR)
+        queries.append(
+            Query(
+                id=f"cq-pop-{i:03d}",
+                text=template.format(a=a.name, b=b.name),
+                kind=QueryKind.COMPARISON,
+                vertical=vertical_id,
+                entities=(a.id, b.id),
+                popularity_class=PopularityClass.POPULAR,
+            )
+        )
+
+    if niche_verticals is None:
+        niche_verticals = [v for v in catalog.verticals() if len(catalog.niche(v)) >= 2]
+    niche_pool = [v for v in niche_verticals if len(catalog.niche(v)) >= 2]
+    if not niche_pool and n_niche:
+        raise ValueError("no vertical has two niche entities")
+    for i in range(n_niche):
+        vertical_id = niche_pool[i % len(niche_pool)]
+        vertical = get_vertical(vertical_id)
+        a, b = rng.sample(catalog.niche(vertical_id), 2)
+        template = rng.choice(_COMPARISON_TEMPLATES_NICHE)
+        keyword = rng.choice(vertical.keywords)
+        queries.append(
+            Query(
+                id=f"cq-nic-{i:03d}",
+                text=template.format(a=a.name, b=b.name, keyword=keyword),
+                kind=QueryKind.COMPARISON,
+                vertical=vertical_id,
+                entities=(a.id, b.id),
+                popularity_class=PopularityClass.NICHE,
+            )
+        )
+
+    return queries
+
+
+def intent_queries(
+    catalog: EntityCatalog,
+    verticals: Sequence[str] = ("smartphones", "laptops", "smartwatches"),
+    count: int = 300,
+    seed: int = 0,
+) -> list[Query]:
+    """Generate the Figure 3 workload: intent-typed electronics queries.
+
+    The count is split evenly across the three intents (remainders go to
+    the earlier intents, matching a 100/100/100 split at ``count=300``).
+    """
+    if count < 3:
+        raise ValueError("count must be at least 3 (one per intent)")
+    rng = random.Random(seed)
+    intents = list(Intent)
+    queries = []
+    for i in range(count):
+        intent = intents[i % len(intents)]
+        vertical_id = verticals[(i // len(intents)) % len(verticals)]
+        vertical = get_vertical(vertical_id)
+        pool = catalog.in_vertical(vertical_id)
+        entity = rng.choice(pool) if pool else None
+        template = rng.choice(INTENT_TEMPLATES[intent])
+        text = template.format(
+            noun=vertical.noun,
+            keyword=rng.choice(vertical.keywords),
+            entity=entity.name if entity else vertical.noun,
+        )
+        queries.append(
+            Query(
+                id=f"iq-{i:03d}",
+                text=text,
+                kind=QueryKind.INTENT,
+                vertical=vertical_id,
+                intent=intent,
+                entities=(entity.id,) if entity else (),
+                popularity_class=PopularityClass.POPULAR,
+            )
+        )
+    return queries

@@ -1,0 +1,368 @@
+"""Vertical (topic) definitions.
+
+The paper's Figure 1 evaluates ranking queries "spanning ten consumer
+topics": smartphones, athletic shoes, skin care, electric cars, streaming
+services, laptops, airlines, hotels, credit cards, and smartwatches.
+Figure 4 and Tables 1-3 additionally use the automotive vertical (SUV
+queries), and Section 3 contrasts popular topics with niche ones (Toronto
+family law, ultramarathon gear).  Each vertical carries the topical
+vocabulary used for query and corpus generation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "CONSUMER_TOPICS",
+    "ELECTRONICS_VERTICALS",
+    "AUTOMOTIVE_VERTICALS",
+    "NICHE_VERTICALS",
+    "Vertical",
+    "VerticalGroup",
+    "all_verticals",
+    "get_vertical",
+]
+
+
+class VerticalGroup(enum.Enum):
+    """Coarse grouping used by the freshness analysis (Figure 4)."""
+
+    CONSUMER_ELECTRONICS = "consumer_electronics"
+    AUTOMOTIVE = "automotive"
+    TRAVEL = "travel"
+    FINANCE = "finance"
+    BEAUTY = "beauty"
+    SPORTS = "sports"
+    MEDIA = "media"
+    NICHE_SERVICES = "niche_services"
+
+
+@dataclass(frozen=True)
+class Vertical:
+    """One topic area.
+
+    Attributes
+    ----------
+    id:
+        Stable slug used across the codebase.
+    name:
+        Human-readable name.
+    group:
+        Coarse grouping (drives Figure 4's two verticals).
+    noun:
+        Plural noun used in query templates ("smartphones").
+    keywords:
+        Topical vocabulary injected into page bodies and queries; this is
+        what makes BM25 retrieval topical rather than random.
+    qualifiers:
+        Ranking-query qualifiers ("most reliable", "best budget", ...).
+    is_niche:
+        Whether the vertical as a whole is low-coverage (pre-training-poor).
+    age_scale:
+        Multiplier on domain age profiles for this vertical's pages —
+        automotive publishing cycles are slower than electronics, which is
+        why the paper's automotive ages run several times higher.
+    """
+
+    id: str
+    name: str
+    group: VerticalGroup
+    noun: str
+    keywords: tuple[str, ...]
+    qualifiers: tuple[str, ...]
+    is_niche: bool = False
+    age_scale: float = 1.0
+
+
+_VERTICALS: dict[str, Vertical] = {}
+
+
+def _define(vertical: Vertical) -> Vertical:
+    if vertical.id in _VERTICALS:
+        raise ValueError(f"duplicate vertical id {vertical.id!r}")
+    _VERTICALS[vertical.id] = vertical
+    return vertical
+
+
+SMARTPHONES = _define(
+    Vertical(
+        id="smartphones",
+        name="Smartphones",
+        group=VerticalGroup.CONSUMER_ELECTRONICS,
+        noun="smartphones",
+        keywords=(
+            "smartphone", "phone", "camera", "battery", "display", "android",
+            "ios", "chipset", "5g", "screen", "megapixel", "charging",
+        ),
+        qualifiers=(
+            "most reliable", "best overall", "best camera", "best battery life",
+            "best budget", "most durable", "best for photography",
+        ),
+    )
+)
+
+LAPTOPS = _define(
+    Vertical(
+        id="laptops",
+        name="Laptops",
+        group=VerticalGroup.CONSUMER_ELECTRONICS,
+        noun="laptops",
+        keywords=(
+            "laptop", "notebook", "keyboard", "battery", "display", "cpu",
+            "gpu", "ram", "ultrabook", "portability", "trackpad", "webcam",
+        ),
+        qualifiers=(
+            "best overall", "best for students", "best for work",
+            "best budget", "most reliable", "best battery life",
+            "best for gaming",
+        ),
+    )
+)
+
+SMARTWATCHES = _define(
+    Vertical(
+        id="smartwatches",
+        name="Smartwatches",
+        group=VerticalGroup.CONSUMER_ELECTRONICS,
+        noun="smartwatches",
+        keywords=(
+            "smartwatch", "watch", "fitness", "gps", "heart rate", "battery",
+            "tracking", "sensor", "sleep", "workout", "notification",
+        ),
+        qualifiers=(
+            "best overall", "best for fitness", "best battery life",
+            "most accurate", "best budget", "best for running",
+        ),
+    )
+)
+
+ELECTRIC_CARS = _define(
+    Vertical(
+        id="electric_cars",
+        name="Electric cars",
+        group=VerticalGroup.AUTOMOTIVE,
+        noun="electric cars",
+        keywords=(
+            "electric", "ev", "range", "charging", "battery", "car",
+            "vehicle", "motor", "autopilot", "efficiency", "warranty",
+        ),
+        qualifiers=(
+            "most reliable", "best overall", "longest range", "best value",
+            "best budget", "safest",
+        ),
+        age_scale=3.6,
+    )
+)
+
+SUVS = _define(
+    Vertical(
+        id="suvs",
+        name="SUVs",
+        group=VerticalGroup.AUTOMOTIVE,
+        noun="SUVs",
+        keywords=(
+            "suv", "crossover", "cargo", "towing", "awd", "safety",
+            "vehicle", "car", "mpg", "seating", "reliability", "family",
+        ),
+        qualifiers=(
+            "best", "most reliable", "best for families", "safest",
+            "best value", "best midsize", "best compact",
+        ),
+        age_scale=4.2,
+    )
+)
+
+ATHLETIC_SHOES = _define(
+    Vertical(
+        id="athletic_shoes",
+        name="Athletic shoes",
+        group=VerticalGroup.SPORTS,
+        noun="athletic shoes",
+        keywords=(
+            "shoe", "running", "cushioning", "sneaker", "trainer", "sole",
+            "stability", "foam", "marathon", "grip", "fit",
+        ),
+        qualifiers=(
+            "best overall", "best for running", "most comfortable",
+            "best budget", "most durable", "best for marathons",
+        ),
+    )
+)
+
+SKINCARE = _define(
+    Vertical(
+        id="skincare",
+        name="Skin care",
+        group=VerticalGroup.BEAUTY,
+        noun="skin care brands",
+        keywords=(
+            "skincare", "serum", "moisturizer", "spf", "retinol", "cleanser",
+            "sunscreen", "hydration", "dermatologist", "ingredient",
+        ),
+        qualifiers=(
+            "best overall", "best for sensitive skin", "most effective",
+            "best budget", "best anti-aging", "dermatologist recommended",
+        ),
+    )
+)
+
+STREAMING = _define(
+    Vertical(
+        id="streaming",
+        name="Streaming services",
+        group=VerticalGroup.MEDIA,
+        noun="streaming services",
+        keywords=(
+            "streaming", "shows", "movies", "subscription", "catalog",
+            "originals", "4k", "price", "library", "series", "plan",
+        ),
+        qualifiers=(
+            "best overall", "best value", "best for movies",
+            "best for families", "best original content", "cheapest",
+        ),
+    )
+)
+
+AIRLINES = _define(
+    Vertical(
+        id="airlines",
+        name="Airlines",
+        group=VerticalGroup.TRAVEL,
+        noun="airlines",
+        keywords=(
+            "airline", "flight", "seat", "legroom", "service", "baggage",
+            "loyalty", "business class", "economy", "on-time", "lounge",
+        ),
+        qualifiers=(
+            "best reviewed", "most reliable", "best business class",
+            "best economy", "most on-time", "best loyalty program",
+        ),
+    )
+)
+
+HOTELS = _define(
+    Vertical(
+        id="hotels",
+        name="Hotels",
+        group=VerticalGroup.TRAVEL,
+        noun="hotel chains",
+        keywords=(
+            "hotel", "resort", "room", "amenities", "loyalty", "suite",
+            "breakfast", "location", "spa", "service", "points",
+        ),
+        qualifiers=(
+            "best overall", "best luxury", "best value", "best loyalty program",
+            "best for families", "best business",
+        ),
+    )
+)
+
+CREDIT_CARDS = _define(
+    Vertical(
+        id="credit_cards",
+        name="Credit cards",
+        group=VerticalGroup.FINANCE,
+        noun="credit cards",
+        keywords=(
+            "credit card", "rewards", "cashback", "apr", "points", "travel",
+            "annual fee", "signup bonus", "interest", "credit score",
+        ),
+        qualifiers=(
+            "best overall", "best travel", "best cashback", "best no fee",
+            "best for beginners", "best premium",
+        ),
+    )
+)
+
+# --- Niche verticals (sparse pre-training coverage by construction).
+
+FAMILY_LAW_TORONTO = _define(
+    Vertical(
+        id="family_law_toronto",
+        name="Family law firms in Toronto",
+        group=VerticalGroup.NICHE_SERVICES,
+        noun="family law firms in Toronto",
+        keywords=(
+            "law firm", "family law", "divorce", "custody", "toronto",
+            "lawyer", "separation", "mediation", "support", "litigation",
+        ),
+        qualifiers=(
+            "top", "best", "most experienced", "best reviewed",
+        ),
+        is_niche=True,
+        age_scale=1.8,
+    )
+)
+
+ULTRARUNNING_GEAR = _define(
+    Vertical(
+        id="ultrarunning_gear",
+        name="Ultramarathon training watches",
+        group=VerticalGroup.NICHE_SERVICES,
+        noun="GPS watches for ultramarathon training",
+        keywords=(
+            "ultramarathon", "trail", "gps watch", "navigation", "elevation",
+            "battery", "100 mile", "ultra", "training load", "mapping",
+        ),
+        qualifiers=(
+            "best", "most accurate", "longest battery", "best value",
+        ),
+        is_niche=True,
+    )
+)
+
+ESPRESSO_GEAR = _define(
+    Vertical(
+        id="espresso_gear",
+        name="Home espresso machines for latte art",
+        group=VerticalGroup.NICHE_SERVICES,
+        noun="home espresso machines for latte art",
+        keywords=(
+            "espresso", "latte", "steam wand", "portafilter", "grinder",
+            "pressure", "microfoam", "boiler", "barista", "extraction",
+        ),
+        qualifiers=(
+            "best", "most consistent", "best value", "most reliable",
+        ),
+        is_niche=True,
+    )
+)
+
+
+# The paper's ten consumer topics (Figure 1's query universe).
+CONSUMER_TOPICS: tuple[str, ...] = (
+    "smartphones",
+    "athletic_shoes",
+    "skincare",
+    "electric_cars",
+    "streaming",
+    "laptops",
+    "airlines",
+    "hotels",
+    "credit_cards",
+    "smartwatches",
+)
+
+ELECTRONICS_VERTICALS: tuple[str, ...] = ("smartphones", "laptops", "smartwatches")
+AUTOMOTIVE_VERTICALS: tuple[str, ...] = ("electric_cars", "suvs")
+NICHE_VERTICALS: tuple[str, ...] = (
+    "family_law_toronto",
+    "ultrarunning_gear",
+    "espresso_gear",
+)
+
+
+def all_verticals() -> list[Vertical]:
+    """Every defined vertical, in definition order."""
+    return list(_VERTICALS.values())
+
+
+def get_vertical(vertical_id: str) -> Vertical:
+    """Look up a vertical by id; raises ``KeyError`` with the known ids."""
+    try:
+        return _VERTICALS[vertical_id]
+    except KeyError:
+        known = ", ".join(sorted(_VERTICALS))
+        raise KeyError(f"unknown vertical {vertical_id!r}; known: {known}") from None

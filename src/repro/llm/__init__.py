@@ -1,0 +1,36 @@
+"""The language-model simulacrum.
+
+The paper's Section 3 dissects how a deterministic LLM (gpt-4o,
+temperature 0) blends **pre-training priors** with **retrieved evidence**
+when ranking entities.  This package makes that blend an explicit,
+seeded mechanism:
+
+* :mod:`repro.llm.pretraining` — per-entity priors whose precision grows
+  with corpus exposure (the pre-training proxy).
+* :mod:`repro.llm.context` — the context window: ordered evidence
+  snippets with per-entity support, plus an order-sensitive fingerprint
+  (temperature-0 models are still sensitive to context order; the
+  fingerprint-seeded noise reproduces exactly that).
+* :mod:`repro.llm.model` — :class:`SimulatedLLM`: holistic ranking,
+  pairwise judgments, grounding modes, citation emission.
+* :mod:`repro.llm.classify` — the GPT-4o-as-classifier stand-in for
+  brand/earned/social typology.
+"""
+
+from repro.llm.classify import SourceTypeClassifier
+from repro.llm.context import ContextWindow, EvidenceSnippet
+from repro.llm.model import GroundingMode, LLMConfig, RankedAnswer, SimulatedLLM
+from repro.llm.pretraining import PretrainedKnowledge
+from repro.llm.rng import derive_rng
+
+__all__ = [
+    "ContextWindow",
+    "EvidenceSnippet",
+    "GroundingMode",
+    "LLMConfig",
+    "PretrainedKnowledge",
+    "RankedAnswer",
+    "SimulatedLLM",
+    "SourceTypeClassifier",
+    "derive_rng",
+]

@@ -1,0 +1,61 @@
+"""Answer-text synthesis for the generative engines.
+
+The comparative analyses in Section 2 consume citations, not prose, but
+the engines are real answer engines: they return synthesized text with
+inline source attributions, which the examples and the freshness pipeline
+(which follows cited URLs) exercise end to end.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.entities.catalog import EntityCatalog
+from repro.webgraph.pages import Page
+
+__all__ = ["synthesize_answer"]
+
+
+def synthesize_answer(
+    query: str,
+    sources: Sequence[Page],
+    catalog: EntityCatalog,
+    ranked_entities: Sequence[str] = (),
+    max_listed: int = 10,
+) -> str:
+    """Compose a short synthesized answer from selected sources.
+
+    When ``ranked_entities`` is supplied the answer leads with the ranked
+    list (a ranking-query answer); otherwise it summarizes what the
+    sources cover.  Source attributions use bracketed indices in citation
+    order, the style the commercial engines emit.
+    """
+    if max_listed < 1:
+        raise ValueError("max_listed must be at least 1")
+    lines = [f"Answer to: {query}"]
+    if ranked_entities:
+        lines.append("")
+        for position, entity_id in enumerate(ranked_entities[:max_listed], start=1):
+            name = catalog.get(entity_id).name if entity_id in catalog else entity_id
+            supporting = [
+                index
+                for index, page in enumerate(sources, start=1)
+                if page.mentions(entity_id)
+            ]
+            attribution = (
+                " " + "".join(f"[{i}]" for i in supporting[:2]) if supporting else ""
+            )
+            lines.append(f"{position}. {name}{attribution}")
+    elif sources:
+        lines.append("")
+        lines.append(
+            "Based on "
+            + ", ".join(f"[{i}] {page.domain}" for i, page in enumerate(sources, start=1))
+            + "."
+        )
+    if sources:
+        lines.append("")
+        lines.append("Sources:")
+        for index, page in enumerate(sources, start=1):
+            lines.append(f"[{index}] {page.title} — {page.url}")
+    return "\n".join(lines)

@@ -1,0 +1,389 @@
+"""The simulated LLM: ranking, pairwise judgment, grounding, citation.
+
+The score model (Section 5 of DESIGN.md) is a confidence-weighted blend of
+the pre-training prior and the context evidence:
+
+``score(e) = (w_p * prior + w_c * evidence) / (w_p + w_c) + noise``
+
+with ``w_p = prior_weight * confidence(e)`` and
+``w_c = context_weight * (1 - confidence(e))``.  Every stochastic draw is
+derived from the call's identity (seed, query, *ordered* context
+fingerprint, entity), so the model is deterministic yet order-sensitive —
+the property the snippet-shuffle experiment probes.
+
+Grounding modes:
+
+* **NORMAL** — priors active; evidence is read with *limited attention*
+  (snippet weight decays exponentially with position, and weakly-attended
+  evidence is discounted against the prior), plus entity-level generation
+  noise derived from the ordered context fingerprint.  Reordering the
+  context therefore changes both what the model effectively reads and its
+  noise realization — the snippet-shuffle phenomenon.
+* **STRICT** — priors off, attention uniform (the model is instructed to
+  aggregate the provided snippets and nothing else).  Residual noise per
+  entity grows with the *conflict* among its many supporting snippets;
+  single-source entities are summarized deterministically, and entities
+  the context never mentions are ordered independently of it.  This is
+  the mechanism behind Table 1's strict column (popular 1.52 vs niche
+  0.46).
+
+Pairwise judgments share the holistic ranking's per-entity noise
+realization (the model's idiosyncratic read of this context carries over),
+re-realize vague priors per call, and add judgment noise that scales with
+the pair's unfamiliarity and, in strict mode, its evidence sparsity —
+Table 2's tau structure.
+
+Citations: a ranked entity is cited only when some snippet supports it;
+entities promoted from the prior alone surface uncited — Table 3's
+citation misses.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.llm.context import ContextWindow
+from repro.llm.pretraining import PretrainedKnowledge
+from repro.llm.rng import derive_rng
+
+__all__ = ["GroundingMode", "LLMConfig", "RankedAnswer", "SimulatedLLM"]
+
+
+class GroundingMode(enum.Enum):
+    """Prompting regimes from Section 3.1."""
+
+    NORMAL = "normal"  # priors + snippets
+    STRICT = "strict"  # "restrict reasoning to provided snippets only"
+
+
+@dataclass(frozen=True)
+class LLMConfig:
+    """Behavioural parameters of the simulacrum.
+
+    Defaults are the calibrated values documented in
+    :mod:`repro.core.calibration`.
+    """
+
+    seed: int = 0
+    prior_weight: float = 1.0
+    context_weight: float = 1.0
+    attention_decay: float = 1.03
+    attention_half_weight: float = 1.5
+    gen_noise_normal: float = 0.139
+    gen_noise_strict: float = 0.004
+    conflict_noise: float = 1.38
+    pair_noise: float = 0.0085
+    pair_noise_vague: float = 0.556
+    strict_pair_noise: float = 1.035
+    unsupported_floor: float = 0.18
+
+    def __post_init__(self) -> None:
+        for name in (
+            "prior_weight", "context_weight", "attention_decay",
+            "attention_half_weight",
+            "gen_noise_normal", "gen_noise_strict", "conflict_noise",
+            "pair_noise", "pair_noise_vague", "strict_pair_noise",
+            "unsupported_floor",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.prior_weight + self.context_weight == 0:
+            raise ValueError("prior_weight and context_weight cannot both be zero")
+
+
+@dataclass(frozen=True)
+class RankedAnswer:
+    """The model's answer to a ranking query.
+
+    ``ranking`` is best-first.  ``citations`` maps each ranked entity to
+    the URLs of its supporting snippets (empty tuple = citation miss).
+    """
+
+    query: str
+    mode: GroundingMode
+    ranking: tuple[str, ...]
+    scores: dict[str, float]
+    citations: dict[str, tuple[str, ...]]
+
+    def rank_of(self, entity_id: str) -> int:
+        """1-based rank; raises ``ValueError`` if absent."""
+        return self.ranking.index(entity_id) + 1
+
+    def uncited_entities(self) -> list[str]:
+        """Ranked entities with no snippet support (prior-injected)."""
+        return [e for e in self.ranking if not self.citations.get(e)]
+
+
+class SimulatedLLM:
+    """Deterministic, order-sensitive entity ranker with priors."""
+
+    def __init__(self, knowledge: PretrainedKnowledge, config: LLMConfig | None = None) -> None:
+        self._knowledge = knowledge
+        self._config = config or LLMConfig()
+
+    @property
+    def config(self) -> LLMConfig:
+        return self._config
+
+    @property
+    def knowledge(self) -> PretrainedKnowledge:
+        return self._knowledge
+
+    # ------------------------------------------------------------------
+    # Evidence aggregation
+
+    def _evidence(
+        self,
+        entity_id: str,
+        context: ContextWindow,
+        mode: GroundingMode,
+    ) -> tuple[float, float] | None:
+        """Aggregate snippet stances into (estimate, attention_mass).
+
+        Returns ``None`` when no snippet supports the entity.
+
+        NORMAL mode models limited attention: snippet weight decays
+        exponentially with position (``exp(-decay * position)``), so an
+        entity whose only mention sits late in the window is barely
+        registered — reordering the context changes what the model
+        effectively reads, which is the entire snippet-shuffle phenomenon.
+        The returned attention mass (total weight, in units where the
+        first position is 1.0) lets the caller discount weakly-attended
+        evidence.
+
+        STRICT mode is instructed aggregation: every position weighs 1.0
+        and the mass is the support count.
+        """
+        support = context.support(entity_id)
+        if not support:
+            return None
+        total_weight = 0.0
+        total = 0.0
+        for position, snippet in support:
+            if mode is GroundingMode.NORMAL:
+                weight = math.exp(-self._config.attention_decay * position)
+            else:
+                weight = 1.0
+            total += weight * snippet.entity_stance[entity_id]
+            total_weight += weight
+        stance = total / total_weight  # in [-1, 1]
+        return (stance + 1.0) / 2.0, total_weight
+
+    def _strict_noise_sigma(self, entity_id: str, context: ContextWindow) -> float:
+        """Strict-mode per-entity noise grows with evidence *conflict*.
+
+        Summarizing the single page that mentions a niche firm is
+        deterministic; reconciling several mildly disagreeing reviews of a
+        famous product leaves residual ambiguity.  The noise scale is the
+        dispersion of the supporting stances, damped for tiny support
+        counts — Table 1's strict column (popular 1.52 vs niche 0.46)
+        falls out of coverage concentration.
+        """
+        stances = [s.entity_stance[entity_id] for __, s in context.support(entity_id)]
+        if len(stances) < 2:
+            return self._config.gen_noise_strict
+        mean = sum(stances) / len(stances)
+        variance = sum((s - mean) ** 2 for s in stances) / (len(stances) - 1)
+        damping = min(1.0, max(0.0, (len(stances) - 3) / 3.0))
+        # Scaled by prior confidence: the ambiguity comes from the model's
+        # own latent knowledge interfering with conflicting evidence.  An
+        # entity it knows nothing about is read literally, however many
+        # snippets mention it.
+        confidence = self._knowledge.confidence(entity_id)
+        return (
+            self._config.gen_noise_strict
+            + self._config.conflict_noise
+            * math.sqrt(variance)
+            * damping
+            * confidence
+        )
+
+    # ------------------------------------------------------------------
+    # Holistic ranking
+
+    def score_entity(
+        self,
+        query: str,
+        entity_id: str,
+        context: ContextWindow,
+        mode: GroundingMode,
+        candidate_count: int,
+    ) -> float:
+        """The blended score used for holistic ranking."""
+        belief = self._knowledge.belief(entity_id)
+        evidence = self._evidence(entity_id, context, mode)
+        noise_rng = derive_rng(
+            "gen", self._config.seed, query, context.fingerprint(), entity_id, mode.value
+        )
+
+        if mode is GroundingMode.STRICT:
+            if evidence is None:
+                # Unsupported entities sink to the bottom.  Their relative
+                # order comes from the prior plus context-independent noise:
+                # the context says nothing about them, so reordering or
+                # rewriting it cannot move them against each other.
+                base = self._config.unsupported_floor * belief.mean
+                floor_rng = derive_rng(
+                    "gen-unsupported", self._config.seed, query, entity_id
+                )
+                return base + floor_rng.gauss(0.0, self._config.gen_noise_strict)
+            base = evidence[0]
+            sigma = self._strict_noise_sigma(entity_id, context)
+            return base + noise_rng.gauss(0.0, sigma)
+
+        w_prior = self._config.prior_weight * belief.confidence
+        if evidence is None:
+            blended = belief.mean
+        else:
+            value, attention_mass = evidence
+            # Weakly-attended evidence counts for less: the context weight
+            # saturates in the attention mass actually spent on the entity.
+            mass_factor = attention_mass / (
+                attention_mass + self._config.attention_half_weight
+            )
+            w_context = (
+                self._config.context_weight * (1.0 - belief.confidence) * mass_factor
+            )
+            if w_prior + w_context == 0.0:
+                blended = value
+            else:
+                blended = (w_prior * belief.mean + w_context * value) / (
+                    w_prior + w_context
+                )
+        return blended + noise_rng.gauss(0.0, self._config.gen_noise_normal)
+
+    def rank_entities(
+        self,
+        query: str,
+        candidates: Sequence[str],
+        context: ContextWindow,
+        mode: GroundingMode = GroundingMode.NORMAL,
+        top_k: int | None = None,
+    ) -> RankedAnswer:
+        """Produce the holistic ranking ``R`` with citations.
+
+        ``top_k`` truncates the output ranking (the query's "Top N"); the
+        default ranks every candidate.
+        """
+        if not candidates:
+            raise ValueError("at least one candidate entity is required")
+        if len(set(candidates)) != len(candidates):
+            raise ValueError("candidate entities must be unique")
+        scores = {
+            entity_id: self.score_entity(query, entity_id, context, mode, len(candidates))
+            for entity_id in candidates
+        }
+        ordered = sorted(candidates, key=lambda e: (-scores[e], e))
+        if top_k is not None:
+            if top_k < 1:
+                raise ValueError("top_k must be at least 1")
+            ordered = ordered[:top_k]
+
+        citations = {}
+        for entity_id in ordered:
+            urls = tuple(s.url for __, s in context.support(entity_id)[:2])
+            citations[entity_id] = urls
+        return RankedAnswer(
+            query=query,
+            mode=mode,
+            ranking=tuple(ordered),
+            scores=scores,
+            citations=citations,
+        )
+
+    # ------------------------------------------------------------------
+    # Pairwise judgment
+
+    def pairwise_judge(
+        self,
+        query: str,
+        entity_a: str,
+        entity_b: str,
+        context: ContextWindow,
+        mode: GroundingMode = GroundingMode.NORMAL,
+    ) -> str:
+        """"Between a and b, which is better ... given the same documents?"
+
+        Each call is an independent judgment whose noise scales with how
+        *unfamiliar* the pair is: judgments between well-represented
+        entities are crisp and repeatable, judgments between obscure ones
+        fluctuate (Section 3.3.2: "the model lacks stable internal
+        hierarchies, fluctuating in per-comparison judgments").  In NORMAL
+        mode the prior is additionally *re-realized* from its uncertainty
+        per call.  In STRICT mode each entity's score is the same
+        evidence-plus-noise quantity the holistic ranking used, so for
+        familiar, well-covered candidates the pairwise tournament
+        reproduces the holistic order exactly (Table 2's tau = 1.0 cell).
+        The pair's RNG is symmetric in (a, b): the model gives one answer
+        per unordered pair.
+        """
+        if entity_a == entity_b:
+            raise ValueError("pairwise judgment requires two distinct entities")
+        first, second = sorted((entity_a, entity_b))
+        call_rng = derive_rng(
+            "pair", self._config.seed, query, context.fingerprint(),
+            first, second, mode.value,
+        )
+        mean_conf = (
+            self._knowledge.confidence(first) + self._knowledge.confidence(second)
+        ) / 2.0
+
+        def pair_score(entity_id: str) -> float:
+            if mode is GroundingMode.STRICT:
+                # Reuse the holistic scoring path (including its per-entity
+                # noise realization) so the tournament is transitive for
+                # well-evidenced candidates.
+                return self.score_entity(query, entity_id, context, mode, 2)
+            belief = self._knowledge.belief(entity_id)
+            evidence = self._evidence(entity_id, context, mode)
+            prior_draw = self._knowledge.sample_prior(entity_id, call_rng)
+            # The per-entity generation noise is the same realization the
+            # holistic ranking used (same derivation inputs): the model's
+            # idiosyncratic read of this context carries over into its
+            # pairwise judgments, so sharp-prior tournaments reproduce the
+            # holistic order.
+            entity_noise = derive_rng(
+                "gen", self._config.seed, query, context.fingerprint(),
+                entity_id, GroundingMode.NORMAL.value,
+            ).gauss(0.0, self._config.gen_noise_normal)
+            if evidence is None:
+                return prior_draw + entity_noise
+            value, attention_mass = evidence
+            mass_factor = attention_mass / (
+                attention_mass + self._config.attention_half_weight
+            )
+            w_prior = self._config.prior_weight * belief.confidence
+            w_context = (
+                self._config.context_weight * (1.0 - belief.confidence) * mass_factor
+            )
+            if w_prior + w_context == 0.0:
+                return value + entity_noise
+            blended = (w_prior * prior_draw + w_context * value) / (w_prior + w_context)
+            return blended + entity_noise
+
+        if mode is GroundingMode.STRICT:
+            # Judgment noise scales with the pair's evidence sparsity: two
+            # well-covered entities compare deterministically; a pair the
+            # evidence barely touches is close to a coin flip.
+            min_support = min(
+                len(context.support(first)), len(context.support(second))
+            )
+            sparsity = max(0.0, 1.0 - min_support / 2.0)
+            sigma = self._config.strict_pair_noise * sparsity * (1.0 - mean_conf) ** 2
+        else:
+            # Quadratic scaling: judgments between familiar entities are
+            # crisp; unfamiliarity compounds.
+            sigma = self._config.pair_noise + self._config.pair_noise_vague * (
+                (1.0 - mean_conf) ** 2
+            )
+        score_first = pair_score(first)
+        score_second = pair_score(second)
+        margin = score_first - score_second + call_rng.gauss(0.0, sigma)
+        if margin > 0:
+            return first
+        if margin < 0:
+            return second
+        return first if call_rng.random() < 0.5 else second

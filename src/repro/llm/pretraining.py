@@ -1,0 +1,134 @@
+"""Pre-training knowledge: per-entity priors from corpus exposure.
+
+"Pre-training on vast, static web corpora creates a latent knowledge base"
+(paper, Section 1).  Here the pre-training corpus *is* the synthetic web:
+an entity's *exposure* is the number of corpus pages covering it, and from
+exposure we derive
+
+* **confidence** — how sharp the model's internal representation is
+  (saturating in exposure, modulated by the catalog's popularity latent,
+  which declares how much of the wider pre-training web the entity
+  occupies beyond our corpus sample), and
+* **prior mean** — a noisy estimate of the entity's true quality, with
+  noise shrinking as confidence grows.  The estimate is *frozen per model
+  seed*: popular entities have "stable conceptual representations"
+  (Section 3.2.2) that do not change between calls.
+
+The re-sampled, per-call variant (:meth:`PretrainedKnowledge.sample_prior`)
+models the *vague* prior of a niche entity, which "fluctuates in
+per-comparison judgments" (Section 3.3.2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.entities.catalog import EntityCatalog
+from repro.llm.rng import derive_rng
+from repro.webgraph.corpus import Corpus
+
+__all__ = ["PretrainedKnowledge", "PriorBelief"]
+
+
+@dataclass(frozen=True)
+class PriorBelief:
+    """The model's frozen internal belief about one entity."""
+
+    entity_id: str
+    mean: float        # prior quality estimate in [0, 1]
+    confidence: float  # prior sharpness in [0, 1]
+    sigma: float       # residual uncertainty used for per-call resampling
+
+
+class PretrainedKnowledge:
+    """Per-entity priors derived from corpus exposure.
+
+    Parameters
+    ----------
+    corpus:
+        The pre-training corpus (the synthetic web).
+    catalog:
+        Entity catalog supplying true qualities and popularity latents.
+    model_seed:
+        Identity of the pre-training run; priors are deterministic
+        functions of ``(model_seed, entity_id)``.
+    exposure_half_saturation:
+        Exposure (page count) at which confidence reaches half its cap.
+    base_sigma:
+        Prior noise scale at zero confidence.
+    anchor:
+        The neutral default assessment the model falls back to when it
+        knows little about an entity.  Low-confidence beliefs shrink
+        toward the anchor (an LLM asked about an obscure firm gives a
+        bland, middling appraisal), so a vague prior is *flat*, not
+        randomly extreme.
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        catalog: EntityCatalog,
+        model_seed: int = 0,
+        exposure_half_saturation: float = 12.0,
+        base_sigma: float = 0.08,
+        anchor: float = 0.55,
+    ) -> None:
+        if exposure_half_saturation <= 0:
+            raise ValueError("exposure_half_saturation must be positive")
+        if base_sigma < 0:
+            raise ValueError("base_sigma must be non-negative")
+        if not 0.0 <= anchor <= 1.0:
+            raise ValueError("anchor must be in [0, 1]")
+        self._model_seed = model_seed
+        self._beliefs: dict[str, PriorBelief] = {}
+        for entity in catalog:
+            exposure = corpus.entity_exposure(entity.id)
+            saturation = exposure / (exposure + exposure_half_saturation)
+            confidence = saturation * (0.2 + 0.8 * entity.popularity)
+            sigma = base_sigma * (1.0 - confidence)
+            rng = derive_rng("prior", model_seed, entity.id)
+            shrunk = anchor + confidence * (entity.true_quality - anchor)
+            mean = min(1.0, max(0.0, shrunk + rng.gauss(0.0, sigma)))
+            self._beliefs[entity.id] = PriorBelief(
+                entity_id=entity.id,
+                mean=mean,
+                confidence=confidence,
+                sigma=sigma,
+            )
+
+    @property
+    def model_seed(self) -> int:
+        return self._model_seed
+
+    def belief(self, entity_id: str) -> PriorBelief:
+        """The frozen belief about an entity; raises ``KeyError``."""
+        try:
+            return self._beliefs[entity_id]
+        except KeyError:
+            raise KeyError(f"no pre-training belief for {entity_id!r}") from None
+
+    def __contains__(self, entity_id: str) -> bool:
+        return entity_id in self._beliefs
+
+    def confidence(self, entity_id: str) -> float:
+        """Prior sharpness in ``[0, 1]``."""
+        return self.belief(entity_id).confidence
+
+    def prior_mean(self, entity_id: str) -> float:
+        """The frozen prior quality estimate."""
+        return self.belief(entity_id).mean
+
+    def sample_prior(self, entity_id: str, call_rng: random.Random) -> float:
+        """A per-call realization of the prior.
+
+        Sharp priors barely move; vague priors wander — this is the
+        mechanism behind the pairwise inconsistency of niche entities
+        (Table 2's low niche tau).
+        """
+        belief = self.belief(entity_id)
+        return min(1.0, max(0.0, belief.mean + call_rng.gauss(0.0, belief.sigma)))
+
+    def known_entities(self) -> list[str]:
+        """All entity ids with beliefs, in catalog order."""
+        return list(self._beliefs)

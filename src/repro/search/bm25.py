@@ -1,0 +1,59 @@
+"""Okapi BM25 scoring over the inverted index.
+
+Standard formulation with the non-negative IDF variant
+(``log(1 + (N - df + 0.5) / (df + 0.5))``), so very common terms score
+zero rather than negative — important in a small synthetic corpus where a
+vertical keyword can appear in most documents.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.search.index import InvertedIndex
+from repro.search.tokenize import tokenize
+
+__all__ = ["BM25Scorer"]
+
+
+class BM25Scorer:
+    """BM25 with tunable ``k1`` (tf saturation) and ``b`` (length norm)."""
+
+    def __init__(self, index: InvertedIndex, k1: float = 1.4, b: float = 0.75) -> None:
+        if k1 < 0:
+            raise ValueError("k1 must be non-negative")
+        if not 0.0 <= b <= 1.0:
+            raise ValueError("b must be in [0, 1]")
+        self._index = index
+        self._k1 = k1
+        self._b = b
+
+    def idf(self, term: str) -> float:
+        """Non-negative inverse document frequency for an analyzed term."""
+        n = self._index.doc_count
+        df = self._index.document_frequency(term)
+        return math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+
+    def score_all(self, query: str) -> dict[int, float]:
+        """BM25 scores for every document matching at least one term."""
+        return self.score_terms(tokenize(query))
+
+    def score_terms(self, terms: Sequence[str]) -> dict[int, float]:
+        """BM25 scores from pre-analyzed query terms."""
+        scores: dict[int, float] = {}
+        avg_len = self._index.average_doc_length
+        if avg_len == 0.0:
+            return scores
+        for term in terms:
+            idf = self.idf(term)
+            if idf == 0.0:
+                continue
+            for posting in self._index.postings(term):
+                tf = posting.term_frequency
+                norm = 1.0 - self._b + self._b * (
+                    self._index.doc_length(posting.doc_id) / avg_len
+                )
+                gain = idf * tf * (self._k1 + 1.0) / (tf + self._k1 * norm)
+                scores[posting.doc_id] = scores.get(posting.doc_id, 0.0) + gain
+        return scores

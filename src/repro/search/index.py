@@ -1,0 +1,100 @@
+"""Inverted index over the synthetic corpus.
+
+Classic postings-list design: term -> [(doc_id, term_frequency)], plus
+per-document lengths and the corpus statistics BM25 needs.  Title terms
+are indexed with a configurable boost (counted multiple times), a standard
+trick that stands in for field-weighted scoring.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.search.tokenize import tokenize
+from repro.webgraph.pages import Page
+
+__all__ = ["InvertedIndex", "Posting"]
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One document's entry in a term's postings list."""
+
+    doc_id: int
+    term_frequency: int
+
+
+class InvertedIndex:
+    """Term -> postings mapping with document statistics.
+
+    Build once with :meth:`add` / :meth:`add_all`; the index is append-only
+    (re-adding a ``doc_id`` raises).
+    """
+
+    def __init__(self, title_boost: int = 3) -> None:
+        if title_boost < 1:
+            raise ValueError("title_boost must be at least 1")
+        self._title_boost = title_boost
+        self._postings: dict[str, list[Posting]] = {}
+        self._doc_lengths: dict[int, int] = {}
+        self._pages: dict[int, Page] = {}
+        self._total_length = 0
+
+    def add(self, page: Page) -> None:
+        """Index one page."""
+        if page.doc_id in self._pages:
+            raise ValueError(f"doc_id {page.doc_id} already indexed")
+        term_counts: dict[str, int] = {}
+        title_terms = tokenize(page.title)
+        body_terms = tokenize(page.body)
+        for term in title_terms:
+            term_counts[term] = term_counts.get(term, 0) + self._title_boost
+        for term in body_terms:
+            term_counts[term] = term_counts.get(term, 0) + 1
+
+        length = self._title_boost * len(title_terms) + len(body_terms)
+        self._doc_lengths[page.doc_id] = length
+        self._total_length += length
+        self._pages[page.doc_id] = page
+        for term, count in term_counts.items():
+            self._postings.setdefault(term, []).append(
+                Posting(doc_id=page.doc_id, term_frequency=count)
+            )
+
+    def add_all(self, pages: Iterable[Page]) -> None:
+        for page in pages:
+            self.add(page)
+
+    def postings(self, term: str) -> list[Posting]:
+        """Postings list for an (already analyzed) term; empty if unseen."""
+        return list(self._postings.get(term, []))
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term``."""
+        return len(self._postings.get(term, []))
+
+    def doc_length(self, doc_id: int) -> int:
+        """Token count of a document (title boost included)."""
+        return self._doc_lengths[doc_id]
+
+    def page(self, doc_id: int) -> Page:
+        """The indexed page for ``doc_id``."""
+        return self._pages[doc_id]
+
+    @property
+    def doc_count(self) -> int:
+        return len(self._pages)
+
+    @property
+    def average_doc_length(self) -> float:
+        if not self._pages:
+            return 0.0
+        return self._total_length / len(self._pages)
+
+    def vocabulary_size(self) -> int:
+        """Number of distinct indexed terms."""
+        return len(self._postings)
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._pages

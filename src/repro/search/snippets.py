@@ -1,0 +1,55 @@
+"""Query-biased snippet extraction.
+
+Generative engines consume retrieved evidence as (snippet, url) pairs —
+the paper's Section 3.1 retrieves "pairs of text snippets and urls".  The
+extractor picks the body sentences with the highest query-term overlap,
+which is how real result snippets are built.
+"""
+
+from __future__ import annotations
+
+from repro.search.tokenize import tokenize
+from repro.webgraph.pages import Page
+
+__all__ = ["extract_snippet"]
+
+
+def _sentences(body: str) -> list[str]:
+    """Split a page body into sentences (generator bodies use newlines)."""
+    pieces = []
+    for line in body.split("\n"):
+        start = 0
+        for i, ch in enumerate(line):
+            if ch in ".!?":
+                piece = line[start : i + 1].strip()
+                if piece:
+                    pieces.append(piece)
+                start = i + 1
+        tail = line[start:].strip()
+        if tail:
+            pieces.append(tail)
+    return pieces
+
+
+def extract_snippet(page: Page, query: str, max_sentences: int = 2) -> str:
+    """The ``max_sentences`` body sentences most relevant to ``query``.
+
+    Sentences are scored by overlap with the analyzed query terms (ties
+    break toward earlier sentences); selected sentences are returned in
+    document order so the snippet reads naturally.  Falls back to the
+    page's leading sentences when nothing overlaps.
+    """
+    if max_sentences < 1:
+        raise ValueError("max_sentences must be at least 1")
+    sentences = _sentences(page.body)
+    if not sentences:
+        return page.title
+    query_terms = set(tokenize(query))
+    scored = []
+    for position, sentence in enumerate(sentences):
+        overlap = len(query_terms & set(tokenize(sentence)))
+        scored.append((overlap, position, sentence))
+    # Highest overlap first, earliest position as tiebreak.
+    scored.sort(key=lambda item: (-item[0], item[1]))
+    chosen = sorted(scored[:max_sentences], key=lambda item: item[1])
+    return " ".join(sentence for __, __, sentence in chosen)

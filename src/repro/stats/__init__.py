@@ -1,0 +1,51 @@
+"""Statistical utilities used throughout the reproduction.
+
+Everything in this package is implemented from scratch (``scipy`` is used
+only inside the test suite, as an oracle).  The paper's metrics are:
+
+* Kendall's tau between a holistic ranking and a pairwise-derived ranking
+  (:mod:`repro.stats.kendall`, used in Table 2),
+* Jaccard overlap between cited-domain sets (:mod:`repro.stats.jaccard`,
+  used in Figures 1 and 2),
+* medians / quantiles / histograms of article-age distributions
+  (:mod:`repro.stats.summaries`, used in Figure 4),
+* bootstrap confidence intervals for reported aggregates
+  (:mod:`repro.stats.bootstrap`).
+"""
+
+from repro.stats.bootstrap import BootstrapResult, bootstrap_ci
+from repro.stats.jaccard import (
+    jaccard,
+    mean_pairwise_jaccard,
+    overlap_coefficient,
+    unique_ratio,
+)
+from repro.stats.kendall import kendall_tau, kendall_tau_rankings
+from repro.stats.mannwhitney import MannWhitneyResult, mann_whitney_u
+from repro.stats.summaries import (
+    DistributionSummary,
+    histogram,
+    mean,
+    median,
+    quantile,
+    summarize,
+)
+
+__all__ = [
+    "BootstrapResult",
+    "DistributionSummary",
+    "bootstrap_ci",
+    "histogram",
+    "jaccard",
+    "kendall_tau",
+    "kendall_tau_rankings",
+    "MannWhitneyResult",
+    "mann_whitney_u",
+    "mean",
+    "mean_pairwise_jaccard",
+    "median",
+    "overlap_coefficient",
+    "quantile",
+    "summarize",
+    "unique_ratio",
+]

@@ -1,0 +1,78 @@
+"""Set-overlap measures for cited-domain analysis (Figures 1 and 2).
+
+The paper normalizes every cited URL to its registrable domain and computes
+the Jaccard overlap between each AI engine's domain set and Google's top-10
+domain set, averaged over queries.  It also reports a *unique-domain ratio*
+(how many of the domains cited across a query set are cited by only one
+system) and cross-model overlap.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+from itertools import combinations
+
+__all__ = [
+    "jaccard",
+    "overlap_coefficient",
+    "mean_pairwise_jaccard",
+    "unique_ratio",
+]
+
+
+def jaccard(a: Iterable[Hashable], b: Iterable[Hashable]) -> float:
+    """Jaccard similarity ``|A ∩ B| / |A ∪ B|``.
+
+    Two empty sets are defined to have overlap ``0.0`` — a query for which
+    an engine cited nothing contributes no evidence of agreement, matching
+    how the paper averages per-query overlaps.
+    """
+    set_a, set_b = set(a), set(b)
+    union = set_a | set_b
+    if not union:
+        return 0.0
+    return len(set_a & set_b) / len(union)
+
+
+def overlap_coefficient(a: Iterable[Hashable], b: Iterable[Hashable]) -> float:
+    """Szymkiewicz–Simpson coefficient ``|A ∩ B| / min(|A|, |B|)``.
+
+    More forgiving than Jaccard when the two systems cite very different
+    numbers of sources; used as a secondary diagnostic.
+    """
+    set_a, set_b = set(a), set(b)
+    if not set_a or not set_b:
+        return 0.0
+    return len(set_a & set_b) / min(len(set_a), len(set_b))
+
+
+def mean_pairwise_jaccard(sets: Sequence[Iterable[Hashable]]) -> float:
+    """Average Jaccard overlap over all unordered pairs of the given sets.
+
+    Used for the cross-model overlap statistic in Section 2.1 (the paper
+    reports a slight cross-model overlap increase on niche queries).
+    Returns ``0.0`` when fewer than two sets are supplied.
+    """
+    frozen = [set(s) for s in sets]
+    if len(frozen) < 2:
+        return 0.0
+    pairs = list(combinations(frozen, 2))
+    return sum(jaccard(a, b) for a, b in pairs) / len(pairs)
+
+
+def unique_ratio(sets: Sequence[Iterable[Hashable]]) -> float:
+    """Fraction of all observed items that appear in exactly one set.
+
+    The paper's *unique-domain ratio*: with five systems each citing a set
+    of domains per query, the ratio of domains cited by only one system
+    measures ecosystem fragmentation (74.2% popular -> 68.6% niche).
+    Returns ``0.0`` when nothing was observed at all.
+    """
+    counts: dict[Hashable, int] = {}
+    for s in sets:
+        for item in set(s):
+            counts[item] = counts.get(item, 0) + 1
+    if not counts:
+        return 0.0
+    unique = sum(1 for c in counts.values() if c == 1)
+    return unique / len(counts)

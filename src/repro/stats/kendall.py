@@ -1,0 +1,149 @@
+"""Kendall's tau rank-correlation coefficient.
+
+The paper (Section 3.1) quantifies the consistency between a one-shot
+holistic ranking ``R`` and a pairwise-derived ranking ``R'`` with Kendall's
+tau.  We implement the tau-b variant (tie-corrected), which reduces to the
+classical tau-a when there are no ties.  Pairwise win counts routinely
+produce ties, so the tie correction matters for Table 2.
+
+The implementation is O(n log n): concordant/discordant pairs are counted
+through a merge-sort inversion count after sorting by the first variable.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Sequence
+
+__all__ = ["kendall_tau", "kendall_tau_rankings"]
+
+
+def _count_inversions(values: list[float]) -> int:
+    """Count inversions (pairs ``i < j`` with ``values[i] > values[j]``).
+
+    Uses an iterative bottom-up merge sort so deep recursion is never an
+    issue; ties are *not* counted as inversions.
+    """
+    n = len(values)
+    inversions = 0
+    width = 1
+    src = list(values)
+    buf = [0.0] * n
+    while width < n:
+        for lo in range(0, n, 2 * width):
+            mid = min(lo + width, n)
+            hi = min(lo + 2 * width, n)
+            i, j, k = lo, mid, lo
+            while i < mid and j < hi:
+                if src[i] <= src[j]:
+                    buf[k] = src[i]
+                    i += 1
+                else:
+                    buf[k] = src[j]
+                    inversions += mid - i
+                    j += 1
+                k += 1
+            while i < mid:
+                buf[k] = src[i]
+                i += 1
+                k += 1
+            while j < hi:
+                buf[k] = src[j]
+                j += 1
+                k += 1
+        src, buf = buf, src
+        width *= 2
+    return inversions
+
+
+def _tie_pair_count(values: Sequence[float]) -> int:
+    """Number of pairs tied on ``values``."""
+    counts: dict[float, int] = {}
+    for v in values:
+        counts[v] = counts.get(v, 0) + 1
+    return sum(c * (c - 1) // 2 for c in counts.values())
+
+
+def _joint_tie_pair_count(xs: Sequence[float], ys: Sequence[float]) -> int:
+    """Number of pairs tied on both variables simultaneously."""
+    counts: dict[tuple[float, float], int] = {}
+    for pair in zip(xs, ys):
+        counts[pair] = counts.get(pair, 0) + 1
+    return sum(c * (c - 1) // 2 for c in counts.values())
+
+
+def kendall_tau(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Kendall's tau-b between two paired score sequences.
+
+    Parameters
+    ----------
+    xs, ys:
+        Paired observations.  Higher scores mean "ranked better"; only the
+        induced orderings matter.
+
+    Returns
+    -------
+    float
+        Tau-b in ``[-1, 1]``.  Returns ``0.0`` when either variable is
+        constant (the coefficient is undefined; zero is the conventional
+        "no information" value and what downstream aggregation expects).
+
+    Raises
+    ------
+    ValueError
+        If the sequences differ in length or have fewer than two items.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(
+            f"paired sequences must match in length: {len(xs)} != {len(ys)}"
+        )
+    n = len(xs)
+    if n < 2:
+        raise ValueError("kendall_tau requires at least two observations")
+
+    total_pairs = n * (n - 1) // 2
+    ties_x = _tie_pair_count(xs)
+    ties_y = _tie_pair_count(ys)
+    ties_xy = _joint_tie_pair_count(xs, ys)
+
+    denom_x = total_pairs - ties_x
+    denom_y = total_pairs - ties_y
+    if denom_x == 0 or denom_y == 0:
+        return 0.0
+
+    # Sort by x ascending, breaking x-ties by y ascending.  Then pairs
+    # discordant in the tau sense are exactly the inversions of the y
+    # sequence, excluding pairs tied on x (which the tie-break ordering
+    # guarantees are never counted as inversions) and pairs tied on y.
+    order = sorted(range(n), key=lambda i: (xs[i], ys[i]))
+    y_sorted = [float(ys[i]) for i in order]
+    discordant = _count_inversions(y_sorted)
+
+    # Pairs tied on y but not on x are neither concordant nor discordant.
+    concordant = total_pairs - ties_x - ties_y + ties_xy - discordant
+
+    return (concordant - discordant) / math.sqrt(denom_x * denom_y)
+
+
+def kendall_tau_rankings(
+    ranking_a: Sequence[Hashable], ranking_b: Sequence[Hashable]
+) -> float:
+    """Kendall's tau between two rankings given as ordered item sequences.
+
+    ``ranking_a`` and ``ranking_b`` must contain the same items (each exactly
+    once).  Position 0 is the best rank.
+
+    This is the form used for Table 2: ``R`` is the holistic ranking and
+    ``R'`` the pairwise-derived one.
+    """
+    if len(ranking_a) != len(ranking_b):
+        raise ValueError("rankings must contain the same number of items")
+    pos_b = {item: i for i, item in enumerate(ranking_b)}
+    if len(pos_b) != len(ranking_b):
+        raise ValueError("ranking_b contains duplicate items")
+    if set(ranking_a) != set(pos_b):
+        raise ValueError("rankings must contain identical item sets")
+    # Scores are negated positions so "earlier in the list" means "higher".
+    xs = [-float(i) for i in range(len(ranking_a))]
+    ys = [-float(pos_b[item]) for item in ranking_a]
+    return kendall_tau(xs, ys)

@@ -1,0 +1,126 @@
+"""Distribution summaries for article-age analysis (Figure 4).
+
+The paper reports both median article ages and full age distributions per
+engine and vertical.  These helpers are deliberately dependency-light; numpy
+is avoided so property-based tests can compare against exact arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = [
+    "DistributionSummary",
+    "histogram",
+    "mean",
+    "median",
+    "quantile",
+    "summarize",
+]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises ``ValueError`` on an empty sequence."""
+    if not values:
+        raise ValueError("mean of empty sequence is undefined")
+    return sum(values) / len(values)
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile (the 'linear' / type-7 definition).
+
+    ``q`` must lie in ``[0, 1]``.  Matches ``numpy.quantile``'s default so
+    results can be cross-checked.
+    """
+    if not values:
+        raise ValueError("quantile of empty sequence is undefined")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile level must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = q * (len(ordered) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper or ordered[lower] == ordered[upper]:
+        return float(ordered[lower])
+    weight = position - lower
+    return float(ordered[lower] * (1.0 - weight) + ordered[upper] * weight)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median via the interpolated quantile at 0.5."""
+    return quantile(values, 0.5)
+
+
+def histogram(
+    values: Sequence[float],
+    bin_edges: Sequence[float],
+) -> list[int]:
+    """Counts per bin for explicit, strictly increasing ``bin_edges``.
+
+    Bins are half-open ``[edge[i], edge[i+1])`` except the last, which is
+    closed on the right (so the maximum lands in the final bin).  Values
+    outside the edges are ignored — figure reproduction clips to the
+    plotted range, just as the paper's plots do.
+    """
+    if len(bin_edges) < 2:
+        raise ValueError("histogram needs at least two bin edges")
+    edges = list(bin_edges)
+    if any(b <= a for a, b in zip(edges, edges[1:])):
+        raise ValueError("bin edges must be strictly increasing")
+    counts = [0] * (len(edges) - 1)
+    lo, hi = edges[0], edges[-1]
+    for v in values:
+        if v < lo or v > hi:
+            continue
+        if v == hi:
+            counts[-1] += 1
+            continue
+        # Binary search for the containing bin.
+        left, right = 0, len(edges) - 1
+        while right - left > 1:
+            mid = (left + right) // 2
+            if v < edges[mid]:
+                right = mid
+            else:
+                left = mid
+        counts[left] += 1
+    return counts
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number-style summary of a sample, plus mean and count."""
+
+    count: int
+    mean: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p90: float
+    maximum: float
+
+    def iqr(self) -> float:
+        """Interquartile range."""
+        return self.p75 - self.p25
+
+
+def summarize(values: Sequence[float]) -> DistributionSummary:
+    """Build a :class:`DistributionSummary` from a non-empty sample."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    ordered = sorted(float(v) for v in values)
+    return DistributionSummary(
+        count=len(ordered),
+        mean=mean(ordered),
+        minimum=ordered[0],
+        p25=quantile(ordered, 0.25),
+        median=quantile(ordered, 0.5),
+        p75=quantile(ordered, 0.75),
+        p90=quantile(ordered, 0.9),
+        maximum=ordered[-1],
+    )

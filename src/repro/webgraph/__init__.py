@@ -1,0 +1,50 @@
+"""The synthetic web ecosystem underlying the reproduction.
+
+The paper's measurements consume three artifacts of the live web: URLs
+(normalized to registrable domains), page HTML (for publication-date
+extraction), and the implicit authority structure of the link graph (which
+shapes Google's ranking).  This package builds all three synthetically:
+
+* :mod:`repro.webgraph.psl` / :mod:`repro.webgraph.urls` — public-suffix
+  aware URL normalization (eTLD+1), the exact operation the paper applies
+  to every cited URL.
+* :mod:`repro.webgraph.domains` — a registry of realistic domains typed as
+  brand / earned / social, with per-vertical authority and publishing
+  cadence.
+* :mod:`repro.webgraph.pages` / :mod:`repro.webgraph.html` — page models
+  rendered to real HTML with publication dates embedded in ``<meta>`` tags,
+  JSON-LD, ``<time>`` elements and body text, so the freshness extractor
+  exercises real parsing.
+* :mod:`repro.webgraph.corpus` — a seeded generator that emits a corpus of
+  pages whose per-entity coverage tracks entity popularity.
+* :mod:`repro.webgraph.linkgraph` — a hyperlink graph over domains feeding
+  PageRank in the search substrate.
+"""
+
+from repro.webgraph.corpus import Corpus, CorpusConfig, CorpusGenerator
+from repro.webgraph.dates import StudyClock
+from repro.webgraph.domains import (
+    DomainRecord,
+    DomainRegistry,
+    SourceType,
+    build_default_registry,
+)
+from repro.webgraph.linkgraph import LinkGraph
+from repro.webgraph.pages import Page, PageKind
+from repro.webgraph.urls import normalize_url, registrable_domain
+
+__all__ = [
+    "Corpus",
+    "CorpusConfig",
+    "CorpusGenerator",
+    "DomainRecord",
+    "DomainRegistry",
+    "LinkGraph",
+    "Page",
+    "PageKind",
+    "SourceType",
+    "StudyClock",
+    "build_default_registry",
+    "normalize_url",
+    "registrable_domain",
+]

@@ -1,0 +1,95 @@
+"""Temporal model of the study.
+
+The paper computes "source age in days" — the gap between a page's
+publication/update date and the time of the study.  The reproduction pins
+the study to a fixed :class:`StudyClock` so every run is deterministic, and
+samples page ages from log-normal profiles (web content ages are heavily
+right-skewed: a burst of fresh coverage plus a long tail of evergreen
+pages, which is what the paper's age distributions in Figure 4 show).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import math
+import random
+from dataclasses import dataclass
+
+__all__ = ["AgeProfile", "StudyClock", "DEFAULT_STUDY_DATE"]
+
+
+# The paper's crawl window is late 2025; any fixed date works since only
+# *relative* ages matter.
+DEFAULT_STUDY_DATE = dt.date(2025, 10, 1)
+
+
+@dataclass(frozen=True)
+class StudyClock:
+    """A frozen 'now' for the whole study.
+
+    All age computations are relative to :attr:`today`, which makes every
+    experiment reproducible regardless of the wall clock.
+    """
+
+    today: dt.date = DEFAULT_STUDY_DATE
+
+    def age_days(self, published: dt.date) -> int:
+        """Age of a page published on ``published``, in days (>= 0).
+
+        Pages "from the future" (clock skew, scheduled posts) are clamped
+        to age zero, as a real crawler would treat them.
+        """
+        return max(0, (self.today - published).days)
+
+    def date_for_age(self, age_days: int) -> dt.date:
+        """The publication date corresponding to an age in days."""
+        if age_days < 0:
+            raise ValueError(f"age must be non-negative, got {age_days}")
+        return self.today - dt.timedelta(days=age_days)
+
+
+@dataclass(frozen=True)
+class AgeProfile:
+    """Log-normal age distribution for a class of pages.
+
+    ``median_days`` is the distribution's median; ``sigma`` the log-space
+    standard deviation (larger => heavier tail).  ``floor_days`` bounds how
+    fresh a page can be (publishing latency), ``cap_days`` how stale
+    (pages older than the cap are re-dated by site redesigns, which is why
+    crawled ages rarely exceed a few years).
+    """
+
+    median_days: float
+    sigma: float = 0.9
+    floor_days: int = 1
+    cap_days: int = 2200
+
+    def __post_init__(self) -> None:
+        if self.median_days <= 0:
+            raise ValueError("median_days must be positive")
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if not 0 <= self.floor_days <= self.cap_days:
+            raise ValueError("floor/cap must satisfy 0 <= floor <= cap")
+
+    def sample_age(self, rng: random.Random) -> int:
+        """Draw an age in days from the profile."""
+        mu = math.log(self.median_days)
+        age = int(round(rng.lognormvariate(mu, self.sigma)))
+        return max(self.floor_days, min(self.cap_days, age))
+
+    def scaled(self, factor: float) -> "AgeProfile":
+        """A copy with the median scaled by ``factor`` (tail shape kept).
+
+        Used to derive vertical-specific profiles: automotive content
+        cycles are slower than consumer electronics, so the same domain
+        class gets an older profile there.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return AgeProfile(
+            median_days=self.median_days * factor,
+            sigma=self.sigma,
+            floor_days=self.floor_days,
+            cap_days=self.cap_days,
+        )

@@ -1,0 +1,508 @@
+"""Domain registry: the population of web sites in the synthetic ecosystem.
+
+Section 2.2 of the paper classifies cited sources into three types:
+
+* **brand** — official / owned media (manufacturer sites, retailer product
+  pages),
+* **earned** — independent editorial media (TechRadar, Consumer Reports),
+* **social** — user-generated content (Reddit, YouTube, Quora).
+
+Every domain in the registry carries its ground-truth type (the classifier
+in :mod:`repro.llm.classify` must *recover* it, as GPT-4o does in the
+paper), the verticals it covers, a baseline authority score (standing in
+for backlink strength) and an age profile controlling how fresh its pages
+are.  The curated catalog below mirrors the outlets the paper names
+(TechRadar, Tom's Guide, RTINGS, CNET, Wikipedia, Consumer Reports, Car and
+Driver, YouTube, BestBuy, cars.com, ...) plus a realistic supporting cast.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field, replace
+
+from repro.webgraph.dates import AgeProfile
+
+__all__ = [
+    "DomainRecord",
+    "DomainRegistry",
+    "SourceType",
+    "build_default_registry",
+]
+
+
+class SourceType(enum.Enum):
+    """The paper's three-way source typology."""
+
+    BRAND = "brand"
+    EARNED = "earned"
+    SOCIAL = "social"
+
+
+# Default age profiles per source type.  Independent editorial outlets chase
+# the news cycle (fresh); brand/retailer pages are long-lived product pages;
+# social threads sit in between with a heavy tail.
+_DEFAULT_AGE_PROFILES = {
+    SourceType.EARNED: AgeProfile(median_days=75.0, sigma=0.95),
+    SourceType.BRAND: AgeProfile(median_days=320.0, sigma=0.85),
+    SourceType.SOCIAL: AgeProfile(median_days=160.0, sigma=1.15),
+}
+
+
+@dataclass(frozen=True)
+class DomainRecord:
+    """One registrable domain and its publishing characteristics.
+
+    Attributes
+    ----------
+    name:
+        The registrable domain, e.g. ``"techradar.com"``.
+    source_type:
+        Ground-truth brand/earned/social type.
+    verticals:
+        Vertical ids this domain covers; empty means general-interest
+        (covers every vertical, with lower topical depth).
+    authority:
+        Baseline web authority in ``[0, 1]`` — the PageRank-like prior that
+        feeds Google's ranking.
+    publish_volume:
+        Relative number of pages this domain contributes per covered
+        vertical (scales corpus generation).
+    age_profile:
+        Distribution of page ages for this domain.
+    is_retailer:
+        Retailers (BestBuy, cars.com) are *owned* media like brands, but
+        behave differently in sourcing (Perplexity mixes them in); flagged
+        so engine personas and analyses can distinguish them.
+    """
+
+    name: str
+    source_type: SourceType
+    verticals: frozenset[str] = frozenset()
+    authority: float = 0.5
+    publish_volume: float = 1.0
+    age_profile: AgeProfile | None = None
+    is_retailer: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or "." not in self.name:
+            raise ValueError(f"domain name {self.name!r} is not registrable")
+        if not 0.0 <= self.authority <= 1.0:
+            raise ValueError(f"authority must be in [0, 1], got {self.authority}")
+        if self.publish_volume <= 0:
+            raise ValueError("publish_volume must be positive")
+
+    def effective_age_profile(self) -> AgeProfile:
+        """The domain's age profile, falling back to its type default."""
+        if self.age_profile is not None:
+            return self.age_profile
+        return _DEFAULT_AGE_PROFILES[self.source_type]
+
+    def covers(self, vertical: str) -> bool:
+        """Whether this domain publishes in ``vertical``."""
+        return not self.verticals or vertical in self.verticals
+
+
+@dataclass
+class DomainRegistry:
+    """An ordered, name-unique collection of :class:`DomainRecord`."""
+
+    _records: dict[str, DomainRecord] = field(default_factory=dict)
+
+    def add(self, record: DomainRecord) -> None:
+        """Register a domain; re-registering the same name is an error."""
+        if record.name in self._records:
+            raise ValueError(f"domain {record.name!r} already registered")
+        self._records[record.name] = record
+
+    def add_all(self, records: Iterable[DomainRecord]) -> None:
+        for record in records:
+            self.add(record)
+
+    def get(self, name: str) -> DomainRecord:
+        """Look up a domain by registrable name; raises ``KeyError``."""
+        return self._records[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[DomainRecord]:
+        return iter(self._records.values())
+
+    def names(self) -> list[str]:
+        """All registered names, in registration order."""
+        return list(self._records)
+
+    def by_type(self, source_type: SourceType) -> list[DomainRecord]:
+        """All domains of a given source type, in registration order."""
+        return [r for r in self._records.values() if r.source_type is source_type]
+
+    def covering(self, vertical: str) -> list[DomainRecord]:
+        """All domains that publish in ``vertical``."""
+        return [r for r in self._records.values() if r.covers(vertical)]
+
+    def ensure_brand_domain(
+        self,
+        name: str,
+        vertical: str,
+        authority: float,
+        publish_volume: float = 1.0,
+    ) -> DomainRecord:
+        """Register (or extend) the official brand domain for an entity.
+
+        Entity catalogs call this while wiring the world: a brand that
+        spans verticals (Samsung sells phones and laptops) accumulates
+        verticals on its single record.
+        """
+        existing = self._records.get(name)
+        if existing is None:
+            record = DomainRecord(
+                name=name,
+                source_type=SourceType.BRAND,
+                verticals=frozenset({vertical}),
+                authority=authority,
+                publish_volume=publish_volume,
+            )
+            self._records[name] = record
+            return record
+        if existing.source_type is not SourceType.BRAND:
+            raise ValueError(
+                f"domain {name!r} already registered as {existing.source_type.value}"
+            )
+        merged = replace(
+            existing,
+            verticals=existing.verticals | {vertical},
+            authority=max(existing.authority, authority),
+        )
+        self._records[name] = merged
+        return merged
+
+
+def _earned(
+    name: str,
+    verticals: Iterable[str],
+    authority: float,
+    volume: float = 3.0,
+    median_age: float | None = None,
+) -> DomainRecord:
+    profile = None
+    if median_age is not None:
+        profile = AgeProfile(median_days=median_age, sigma=0.95)
+    return DomainRecord(
+        name=name,
+        source_type=SourceType.EARNED,
+        verticals=frozenset(verticals),
+        authority=authority,
+        publish_volume=volume,
+        age_profile=profile,
+    )
+
+
+def _social(
+    name: str,
+    authority: float,
+    volume: float = 4.0,
+    verticals: Iterable[str] = (),
+) -> DomainRecord:
+    return DomainRecord(
+        name=name,
+        source_type=SourceType.SOCIAL,
+        verticals=frozenset(verticals),
+        authority=authority,
+        publish_volume=volume,
+    )
+
+
+def _retailer(name: str, verticals: Iterable[str], authority: float) -> DomainRecord:
+    return DomainRecord(
+        name=name,
+        source_type=SourceType.BRAND,
+        verticals=frozenset(verticals),
+        authority=authority,
+        publish_volume=2.5,
+        is_retailer=True,
+        age_profile=AgeProfile(median_days=240.0, sigma=0.8),
+    )
+
+
+# Vertical ids used across the study (authoritative list lives in
+# repro.entities.verticals; these constants avoid typos in the catalog).
+_ELECTRONICS = ("smartphones", "laptops", "smartwatches")
+_AUTomotive = ("electric_cars", "suvs")
+_TRAVEL = ("airlines", "hotels")
+
+
+# Word material for the generated long tail of editorial outlets.  The
+# real web's candidate space for any consumer query spans hundreds of
+# mid-tier outlets; without that long tail every engine would be forced
+# onto the same dozen domains and overlap statistics would be meaningless.
+_TAIL_PREFIXES = (
+    "daily", "the", "pro", "prime", "inside", "trusted", "smart", "modern",
+    "honest", "expert", "true", "top", "real", "clear", "sharp", "first",
+)
+_TAIL_SUFFIXES = (
+    "report", "review", "lab", "hub", "wire", "digest", "journal",
+    "insider", "scout", "radar", "guide", "watch", "briefing", "index",
+)
+_TAIL_STEMS = {
+    "smartphones": ("phone", "mobile", "handset", "android"),
+    "laptops": ("laptop", "notebook", "ultrabook", "computing"),
+    "smartwatches": ("watch", "wearable", "fitness", "tracker"),
+    "electric_cars": ("ev", "electric", "charge", "volt"),
+    "suvs": ("auto", "drive", "motor", "car"),
+    "athletic_shoes": ("run", "shoe", "stride", "track"),
+    "skincare": ("skin", "derm", "glow", "beauty"),
+    "streaming": ("stream", "screen", "binge", "show"),
+    "airlines": ("flight", "air", "travel", "wing"),
+    "hotels": ("stay", "hotel", "suite", "lodging"),
+    "credit_cards": ("card", "credit", "points", "rewards"),
+    "family_law_toronto": ("law", "legal", "counsel"),
+    "ultrarunning_gear": ("trail", "ultra", "endurance"),
+    "espresso_gear": ("espresso", "coffee", "brew"),
+}
+
+
+def _long_tail_for(vertical: str, count: int, seed: int = 20250601) -> list[DomainRecord]:
+    """Deterministic mid-tier editorial outlets covering one vertical."""
+    import random as _random
+
+    rng = _random.Random(f"tail:{seed}:{vertical}")
+    stems = _TAIL_STEMS.get(vertical, ("consumer",))
+    records = []
+    seen: set[str] = set()
+    attempts = 0
+    while len(records) < count and attempts < count * 20:
+        attempts += 1
+        name = (
+            rng.choice(_TAIL_PREFIXES)
+            + rng.choice(stems)
+            + rng.choice(_TAIL_SUFFIXES)
+            + ".com"
+        )
+        if name in seen:
+            continue
+        seen.add(name)
+        records.append(
+            _earned(
+                name,
+                (vertical,),
+                authority=round(rng.uniform(0.25, 0.65), 3),
+                volume=round(rng.uniform(1.0, 3.0), 2),
+                median_age=round(rng.uniform(55.0, 170.0), 1),
+            )
+        )
+    return records
+
+
+def _forums_for(vertical: str, count: int, seed: int = 20250601) -> list[DomainRecord]:
+    """Vertical-specific community forums (social UGC long tail)."""
+    import random as _random
+
+    rng = _random.Random(f"forum:{seed}:{vertical}")
+    stems = _TAIL_STEMS.get(vertical, ("consumer",))
+    records = []
+    seen: set[str] = set()
+    attempts = 0
+    while len(records) < count and attempts < count * 20:
+        attempts += 1
+        name = rng.choice(stems) + rng.choice(("forums", "community", "board")) + ".com"
+        if name in seen:
+            continue
+        seen.add(name)
+        records.append(
+            DomainRecord(
+                name=name,
+                source_type=SourceType.SOCIAL,
+                verticals=frozenset({vertical}),
+                authority=round(rng.uniform(0.25, 0.55), 3),
+                publish_volume=round(rng.uniform(1.5, 3.5), 2),
+            )
+        )
+    return records
+
+
+def build_default_registry(
+    long_tail_per_vertical: int = 24,
+    forums_per_vertical: int = 2,
+) -> DomainRegistry:
+    """The curated default domain population (editorial, social, retail).
+
+    On top of the curated head (the outlets the paper names), every
+    vertical receives a deterministic long tail of mid-tier editorial
+    outlets and community forums — the candidate diversity that makes
+    source-selection differences measurable.
+
+    Brand domains are *not* included here — they are registered from the
+    entity catalog via :meth:`DomainRegistry.ensure_brand_domain`, because
+    brands exist only relative to the entities under study.
+    """
+    registry = DomainRegistry()
+
+    # --- General-interest earned media (cover everything, shallowly).
+    registry.add_all(
+        [
+            _earned("wikipedia.org", (), 0.99, volume=2.0, median_age=420.0),
+            _earned("nytimes.com", (), 0.96, volume=1.5),
+            _earned("forbes.com", (), 0.92, volume=2.0),
+            _earned("businessinsider.com", (), 0.88, volume=2.0),
+            _earned("usatoday.com", (), 0.87, volume=1.5),
+            _earned("theguardian.com", (), 0.9, volume=1.5),
+            _earned("cnn.com", (), 0.93, volume=1.0),
+            _earned("nypost.com", (), 0.8, volume=1.0),
+        ]
+    )
+
+    # --- Consumer-electronics editorial (the outlets the paper names).
+    registry.add_all(
+        [
+            _earned("techradar.com", _ELECTRONICS, 0.68, volume=5.0, median_age=60.0),
+            _earned("tomsguide.com", _ELECTRONICS, 0.66, volume=5.0, median_age=62.0),
+            _earned("rtings.com", _ELECTRONICS, 0.6, volume=4.0, median_age=90.0),
+            _earned("cnet.com", _ELECTRONICS, 0.72, volume=5.0, median_age=70.0),
+            _earned("theverge.com", _ELECTRONICS, 0.7, volume=4.0, median_age=65.0),
+            _earned("wired.com", _ELECTRONICS, 0.74, volume=3.0, median_age=80.0),
+            _earned("pcmag.com", _ELECTRONICS, 0.66, volume=4.0, median_age=75.0),
+            _earned("engadget.com", _ELECTRONICS, 0.64, volume=3.0, median_age=68.0),
+            _earned("digitaltrends.com", _ELECTRONICS, 0.6, volume=3.0, median_age=72.0),
+            _earned("zdnet.com", _ELECTRONICS, 0.62, volume=3.0, median_age=78.0),
+            _earned("androidauthority.com", ("smartphones", "smartwatches"), 0.58, volume=3.0, median_age=65.0),
+            _earned("notebookcheck.net", ("laptops",), 0.52, volume=3.0, median_age=85.0),
+            _earned("gsmarena.com", ("smartphones",), 0.6, volume=3.0, median_age=70.0),
+            _earned("wirecutter.com", _ELECTRONICS + ("skincare", "athletic_shoes"), 0.66, volume=3.0, median_age=95.0),
+        ]
+    )
+
+    # --- Automotive editorial.
+    registry.add_all(
+        [
+            _earned("consumerreports.org", _AUTomotive + _ELECTRONICS, 0.72, volume=4.0, median_age=120.0),
+            _earned("caranddriver.com", _AUTomotive, 0.68, volume=5.0, median_age=110.0),
+            _earned("motortrend.com", _AUTomotive, 0.64, volume=4.0, median_age=130.0),
+            _earned("edmunds.com", _AUTomotive, 0.66, volume=4.0, median_age=150.0),
+            _earned("kbb.com", _AUTomotive, 0.68, volume=4.0, median_age=160.0),
+            _earned("autoblog.com", _AUTomotive, 0.56, volume=3.0, median_age=120.0),
+            _earned("topgear.com", _AUTomotive, 0.6, volume=2.0, median_age=140.0),
+            _earned("motor1.com", _AUTomotive, 0.54, volume=3.0, median_age=125.0),
+            _earned("insideevs.com", ("electric_cars",), 0.53, volume=3.0, median_age=90.0),
+            _earned("electrek.co", ("electric_cars",), 0.52, volume=3.0, median_age=80.0),
+            _earned("jdpower.com", _AUTomotive, 0.62, volume=2.0, median_age=200.0),
+        ]
+    )
+
+    # --- Travel / airlines / hotels editorial.
+    registry.add_all(
+        [
+            _earned("thepointsguy.com", _TRAVEL + ("credit_cards",), 0.62, volume=4.0, median_age=55.0),
+            _earned("airlinequality.com", ("airlines",), 0.5, volume=2.0, median_age=90.0),
+            _earned("cntraveler.com", _TRAVEL, 0.64, volume=3.0, median_age=70.0),
+            _earned("travelandleisure.com", _TRAVEL, 0.62, volume=3.0, median_age=65.0),
+            _earned("afar.com", ("hotels",), 0.52, volume=2.0, median_age=85.0),
+            _earned("onemileatatime.com", _TRAVEL, 0.54, volume=3.0, median_age=40.0),
+        ]
+    )
+
+    # --- Personal finance editorial.
+    registry.add_all(
+        [
+            _earned("nerdwallet.com", ("credit_cards",), 0.68, volume=5.0, median_age=60.0),
+            _earned("bankrate.com", ("credit_cards",), 0.66, volume=4.0, median_age=65.0),
+            _earned("creditkarma.com", ("credit_cards",), 0.6, volume=3.0, median_age=80.0),
+            _earned("fool.com", ("credit_cards",), 0.58, volume=3.0, median_age=70.0),
+            _earned("investopedia.com", ("credit_cards",), 0.7, volume=3.0, median_age=150.0),
+        ]
+    )
+
+    # --- Beauty / skincare editorial.
+    registry.add_all(
+        [
+            _earned("allure.com", ("skincare",), 0.62, volume=4.0, median_age=55.0),
+            _earned("byrdie.com", ("skincare",), 0.58, volume=4.0, median_age=60.0),
+            _earned("vogue.com", ("skincare",), 0.88, volume=2.0, median_age=70.0),
+            _earned("healthline.com", ("skincare",), 0.72, volume=3.0, median_age=120.0),
+            _earned("dermstore.com", ("skincare",), 0.5, volume=2.0, median_age=100.0),
+        ]
+    )
+
+    # --- Running / athletic shoes editorial.
+    registry.add_all(
+        [
+            _earned("runnersworld.com", ("athletic_shoes",), 0.63, volume=4.0, median_age=60.0),
+            _earned("runrepeat.com", ("athletic_shoes",), 0.52, volume=4.0, median_age=50.0),
+            _earned("believeintherun.com", ("athletic_shoes",), 0.45, volume=3.0, median_age=45.0),
+            _earned("irunfar.com", ("athletic_shoes", "smartwatches"), 0.47, volume=2.0, median_age=55.0),
+            _earned("dcrainmaker.com", ("smartwatches",), 0.52, volume=3.0, median_age=50.0),
+        ]
+    )
+
+    # --- Streaming / entertainment editorial.
+    registry.add_all(
+        [
+            _earned("variety.com", ("streaming",), 0.68, volume=3.0, median_age=40.0),
+            _earned("hollywoodreporter.com", ("streaming",), 0.66, volume=3.0, median_age=45.0),
+            _earned("whattowatch.com", ("streaming",), 0.5, volume=3.0, median_age=35.0),
+            _earned("rottentomatoes.com", ("streaming",), 0.72, volume=3.0, median_age=90.0),
+            _earned("decider.com", ("streaming",), 0.5, volume=3.0, median_age=30.0),
+        ]
+    )
+
+    # --- Social / UGC platforms (general-interest, high authority).
+    registry.add_all(
+        [
+            _social("reddit.com", 0.95, volume=8.0),
+            _social("youtube.com", 0.97, volume=8.0),
+            _social("quora.com", 0.85, volume=4.0),
+            _social("x.com", 0.82, volume=1.5),
+            _social("facebook.com", 0.84, volume=1.0),
+            _social("instagram.com", 0.82, volume=1.0),
+            _social("tiktok.com", 0.8, volume=1.5),
+            _social("pinterest.com", 0.74, volume=1.0),
+            _social("stackexchange.com", 0.8, volume=2.0, verticals=_ELECTRONICS),
+            _social("medium.com", 0.78, volume=3.0),
+            _social("tripadvisor.com", 0.88, volume=5.0, verticals=_TRAVEL),
+            _social("flyertalk.com", 0.66, volume=2.0, verticals=("airlines",)),
+        ]
+    )
+
+    # --- Retailers (owned media; typed brand with the retailer flag).
+    registry.add_all(
+        [
+            _retailer("amazon.com", _ELECTRONICS + ("skincare", "athletic_shoes"), 0.97),
+            _retailer("bestbuy.com", _ELECTRONICS, 0.9),
+            _retailer("walmart.com", _ELECTRONICS + ("skincare",), 0.92),
+            _retailer("target.com", ("skincare", "athletic_shoes"), 0.88),
+            _retailer("newegg.com", ("laptops",), 0.78),
+            _retailer("cars.com", _AUTomotive, 0.86),
+            _retailer("autotrader.com", _AUTomotive, 0.84),
+            _retailer("carvana.com", _AUTomotive, 0.78),
+            _retailer("sephora.com", ("skincare",), 0.86),
+            _retailer("ulta.com", ("skincare",), 0.84),
+            _retailer("expedia.com", _TRAVEL, 0.9),
+            _retailer("booking.com", ("hotels",), 0.92),
+            _retailer("kayak.com", ("airlines",), 0.84),
+            _retailer("zappos.com", ("athletic_shoes",), 0.8),
+            _retailer("roadrunnersports.com", ("athletic_shoes",), 0.66),
+        ]
+    )
+
+    # --- Generated long tail per vertical.
+    if long_tail_per_vertical or forums_per_vertical:
+        for vertical in _TAIL_STEMS:
+            tail = long_tail_per_vertical
+            forums = forums_per_vertical
+            if vertical in ("family_law_toronto", "ultrarunning_gear", "espresso_gear"):
+                # Niche verticals have thinner -- but not degenerate --
+                # coverage: a handful of specialist blogs and directories.
+                tail = max(2, long_tail_per_vertical // 2)
+                forums = 2
+            for record in _long_tail_for(vertical, tail):
+                if record.name not in registry:
+                    registry.add(record)
+            for record in _forums_for(vertical, forums):
+                if record.name not in registry:
+                    registry.add(record)
+
+    return registry

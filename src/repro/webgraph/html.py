@@ -1,0 +1,100 @@
+"""HTML rendering for synthetic pages.
+
+The freshness analysis (Figure 4) must "extract page-level publication or
+update dates (HTML meta, JSON-LD, <time> tags, and body text)".  To make
+that extraction real rather than a lookup into ground truth, every page is
+rendered to an HTML document that exposes its date through exactly the
+markup strategy assigned to it (or not at all), and the extractor in
+:mod:`repro.analysis.freshness` parses the document the way a crawler
+would.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import html as html_escape
+import json
+
+from repro.webgraph.pages import DateMarkup, Page
+
+__all__ = ["render_page"]
+
+_MONTHS = [
+    "January", "February", "March", "April", "May", "June",
+    "July", "August", "September", "October", "November", "December",
+]
+
+
+def _human_date(date: dt.date) -> str:
+    """'March 3, 2025' — the prose form used in body-text dating."""
+    return f"{_MONTHS[date.month - 1]} {date.day}, {date.year}"
+
+
+def _head(page: Page) -> list[str]:
+    parts = [
+        "<head>",
+        '<meta charset="utf-8">',
+        f"<title>{html_escape.escape(page.title)}</title>",
+    ]
+    if page.date_markup is DateMarkup.META:
+        iso = page.published.isoformat()
+        parts.append(
+            f'<meta property="article:published_time" content="{iso}T08:00:00Z">'
+        )
+        parts.append(f'<meta name="date" content="{iso}">')
+    if page.date_markup is DateMarkup.JSON_LD:
+        payload = {
+            "@context": "https://schema.org",
+            "@type": "Article",
+            "headline": page.title,
+            "datePublished": page.published.isoformat(),
+            "dateModified": page.published.isoformat(),
+        }
+        parts.append(
+            '<script type="application/ld+json">'
+            + json.dumps(payload)
+            + "</script>"
+        )
+    parts.append("</head>")
+    return parts
+
+
+def _byline(page: Page) -> str:
+    if page.date_markup is DateMarkup.TIME_TAG:
+        iso = page.published.isoformat()
+        return (
+            f'<p class="byline">By Staff · '
+            f'<time datetime="{iso}">{_human_date(page.published)}</time></p>'
+        )
+    if page.date_markup is DateMarkup.BODY_TEXT:
+        return f'<p class="byline">Published on {_human_date(page.published)}</p>'
+    return '<p class="byline">By Staff</p>'
+
+
+def render_page(page: Page) -> str:
+    """Render a :class:`Page` to a complete HTML document.
+
+    The document exposes the publication date only through the page's
+    :class:`DateMarkup` strategy; pages with ``DateMarkup.NONE`` yield no
+    extractable date, matching the extraction misses a real crawl suffers.
+    """
+    paragraphs = "\n".join(
+        f"<p>{html_escape.escape(para)}</p>"
+        for para in page.body.split("\n")
+        if para.strip()
+    )
+    lines = ["<!DOCTYPE html>", '<html lang="en">']
+    lines.extend(_head(page))
+    lines.extend(
+        [
+            "<body>",
+            "<article>",
+            f"<h1>{html_escape.escape(page.title)}</h1>",
+            _byline(page),
+            paragraphs,
+            "</article>",
+            "</body>",
+            "</html>",
+        ]
+    )
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Domain-level hyperlink graph.
+
+Google's ranking in the reproduction blends text relevance with a
+PageRank-style authority score.  Authority must come from *somewhere*, so
+the corpus generator records who links to whom at domain granularity:
+editorial pages link to the brands they review, social threads link to the
+editorial pieces they discuss, retailers link to brands they stock.  The
+resulting weighted digraph feeds :mod:`repro.search.pagerank`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = ["LinkGraph"]
+
+
+class LinkGraph:
+    """A weighted directed graph over registrable domains."""
+
+    def __init__(self) -> None:
+        self._out: dict[str, dict[str, float]] = {}
+        self._nodes: dict[str, None] = {}  # insertion-ordered set
+
+    def add_node(self, domain: str) -> None:
+        """Ensure ``domain`` exists in the graph (idempotent)."""
+        if not domain:
+            raise ValueError("domain must be non-empty")
+        self._nodes.setdefault(domain, None)
+        self._out.setdefault(domain, {})
+
+    def add_edge(self, source: str, target: str, weight: float = 1.0) -> None:
+        """Add (or reinforce) a link from ``source`` to ``target``.
+
+        Self-links are ignored — they carry no authority information and
+        would distort PageRank.
+        """
+        if weight <= 0:
+            raise ValueError(f"edge weight must be positive, got {weight}")
+        self.add_node(source)
+        self.add_node(target)
+        if source == target:
+            return
+        edges = self._out[source]
+        edges[target] = edges.get(target, 0.0) + weight
+
+    def nodes(self) -> list[str]:
+        """All domains, in insertion order."""
+        return list(self._nodes)
+
+    def out_edges(self, domain: str) -> dict[str, float]:
+        """Outgoing edges of ``domain`` as a target->weight mapping."""
+        return dict(self._out.get(domain, {}))
+
+    def out_weight(self, domain: str) -> float:
+        """Total outgoing weight of ``domain``."""
+        return sum(self._out.get(domain, {}).values())
+
+    def edge_count(self) -> int:
+        """Number of distinct directed edges."""
+        return sum(len(edges) for edges in self._out.values())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self._nodes
+
+    def edges(self) -> Iterator[tuple[str, str, float]]:
+        """Iterate ``(source, target, weight)`` triples."""
+        for source, targets in self._out.items():
+            for target, weight in targets.items():
+                yield source, target, weight
+
+    def add_nodes(self, domains: Iterable[str]) -> None:
+        for domain in domains:
+            self.add_node(domain)

@@ -1,0 +1,118 @@
+"""Page models for the synthetic web.
+
+A :class:`Page` is the unit everything else consumes: the search index
+ingests its text, engines cite its URL, the typology classifier inspects
+its domain and body, and the freshness analyzer parses its rendered HTML
+(see :mod:`repro.webgraph.html`) for a publication date.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["DateMarkup", "Page", "PageKind"]
+
+
+class PageKind(enum.Enum):
+    """The editorial formats the corpus generator produces."""
+
+    RANKING = "ranking"          # "Top 10 ..." listicles
+    REVIEW = "review"            # single-product deep dives
+    COMPARISON = "comparison"    # "X vs Y" pieces
+    NEWS = "news"                # launch / recall / update coverage
+    GUIDE = "guide"              # explainers ("How does Wi-Fi 7 work?")
+    PRODUCT = "product"          # brand/retailer product pages
+    FORUM_THREAD = "thread"      # social discussion threads
+
+
+class DateMarkup(enum.Enum):
+    """How (and whether) a page exposes its publication date in HTML.
+
+    The paper extracts dates from "HTML meta, JSON-LD, <time> tags, and
+    body text"; real pages use any subset, and some none at all.  The
+    corpus assigns one strategy per page so the extractor's multiple code
+    paths are all exercised.
+    """
+
+    META = "meta"            # <meta property="article:published_time">
+    JSON_LD = "json_ld"      # schema.org datePublished
+    TIME_TAG = "time_tag"    # <time datetime="...">
+    BODY_TEXT = "body_text"  # "Published March 3, 2025" in prose
+    NONE = "none"            # no machine-readable date at all
+
+
+@dataclass(frozen=True)
+class Page:
+    """A single synthetic web page.
+
+    Attributes
+    ----------
+    doc_id:
+        Dense integer id assigned by the corpus generator (index-friendly).
+    url:
+        Full URL; its registrable domain equals :attr:`domain`.
+    domain:
+        Registrable domain of the hosting site.
+    kind:
+        Editorial format.
+    vertical:
+        Vertical id the page belongs to.
+    title / body:
+        Text content (indexed by the search substrate).
+    published:
+        Ground-truth publication date.
+    date_markup:
+        Which HTML date-exposure strategy the renderer uses.
+    entities:
+        Ids of catalog entities substantively covered by the page, in
+        order of prominence (first = primary subject).
+    entity_stance:
+        Per-entity sentiment in ``[-1, 1]`` — the evidence signal a reader
+        (or an LLM consuming a snippet) would take away about each entity.
+    quality:
+        Editorial quality in ``[0, 1]``; feeds engine-side reranking.
+    seo_score:
+        How aggressively search-optimized the page is in ``[0, 1]``; feeds
+        Google's ranking but not the AI engines' (a core asymmetry in the
+        paper's SEO-vs-AEO discussion).
+    """
+
+    doc_id: int
+    url: str
+    domain: str
+    kind: PageKind
+    vertical: str
+    title: str
+    body: str
+    published: dt.date
+    date_markup: DateMarkup
+    entities: tuple[str, ...] = ()
+    entity_stance: dict[str, float] = field(default_factory=dict)
+    quality: float = 0.5
+    seo_score: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.quality <= 1.0:
+            raise ValueError(f"quality must be in [0, 1], got {self.quality}")
+        if not 0.0 <= self.seo_score <= 1.0:
+            raise ValueError(f"seo_score must be in [0, 1], got {self.seo_score}")
+        for entity, stance in self.entity_stance.items():
+            if not -1.0 <= stance <= 1.0:
+                raise ValueError(
+                    f"stance for {entity!r} must be in [-1, 1], got {stance}"
+                )
+
+    @property
+    def primary_entity(self) -> str | None:
+        """The page's main subject, if it has one."""
+        return self.entities[0] if self.entities else None
+
+    def mentions(self, entity_id: str) -> bool:
+        """Whether the page substantively covers ``entity_id``."""
+        return entity_id in self.entities
+
+    def text(self) -> str:
+        """Title and body concatenated, for indexing."""
+        return f"{self.title}\n{self.body}"

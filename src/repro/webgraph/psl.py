@@ -1,0 +1,215 @@
+"""Public-suffix handling for registrable-domain (eTLD+1) extraction.
+
+The paper normalizes every cited URL "to their registrable domains" before
+computing overlap.  Registrable-domain extraction requires the Mozilla
+Public Suffix List algorithm: a hostname's *public suffix* is its longest
+matching rule, and the registrable domain is the suffix plus one more label.
+
+This module embeds a snapshot of the rules relevant to the study's domain
+space (generic TLDs plus the country-code structures that appear in consumer
+and automotive media) and implements the full matching algorithm, including
+wildcard rules (``*.ck``) and exception rules (``!www.ck``), so the
+normalizer behaves correctly even on exotic hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PublicSuffixList", "default_psl"]
+
+
+# A representative snapshot of the Public Suffix List.  Comments and empty
+# lines are permitted, matching the upstream file format.
+_EMBEDDED_RULES = """
+// Generic top-level domains
+com
+org
+net
+edu
+gov
+mil
+int
+info
+biz
+io
+co
+ai
+app
+dev
+tech
+news
+blog
+shop
+store
+online
+site
+xyz
+me
+tv
+cc
+ws
+// Country-code TLDs with flat structure
+ca
+de
+fr
+it
+nl
+se
+no
+fi
+dk
+ch
+at
+be
+es
+pt
+ie
+us
+// United Kingdom
+uk
+co.uk
+org.uk
+ac.uk
+gov.uk
+net.uk
+// Australia
+au
+com.au
+net.au
+org.au
+edu.au
+gov.au
+// Japan
+jp
+co.jp
+or.jp
+ne.jp
+ac.jp
+go.jp
+// Brazil
+br
+com.br
+net.br
+org.br
+// India
+in
+co.in
+net.in
+org.in
+// China
+cn
+com.cn
+net.cn
+org.cn
+// Korea
+kr
+co.kr
+or.kr
+// New Zealand
+nz
+co.nz
+org.nz
+net.nz
+// Wildcard and exception examples (Cook Islands, per the real PSL)
+ck
+*.ck
+!www.ck
+"""
+
+
+@dataclass(frozen=True)
+class _Rule:
+    """A parsed PSL rule."""
+
+    labels: tuple[str, ...]
+    is_exception: bool
+
+    @property
+    def length(self) -> int:
+        return len(self.labels)
+
+
+def _parse_rules(text: str) -> list[_Rule]:
+    rules = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("//"):
+            continue
+        is_exception = line.startswith("!")
+        if is_exception:
+            line = line[1:]
+        labels = tuple(label for label in line.lower().split(".") if label)
+        if labels:
+            rules.append(_Rule(labels=labels, is_exception=is_exception))
+    return rules
+
+
+class PublicSuffixList:
+    """Mozilla PSL matcher over an embedded or user-supplied rule set."""
+
+    def __init__(self, rules_text: str = _EMBEDDED_RULES) -> None:
+        self._rules = _parse_rules(rules_text)
+        # Index rules by their final label for fast candidate lookup.
+        self._by_last_label: dict[str, list[_Rule]] = {}
+        for rule in self._rules:
+            self._by_last_label.setdefault(rule.labels[-1], []).append(rule)
+
+    def _matching_rules(self, labels: tuple[str, ...]) -> list[_Rule]:
+        candidates = self._by_last_label.get(labels[-1], [])
+        matches = []
+        for rule in candidates:
+            if rule.length > len(labels):
+                continue
+            tail = labels[-rule.length:]
+            if all(r in ("*", t) for r, t in zip(rule.labels, tail)):
+                matches.append(rule)
+        return matches
+
+    def public_suffix(self, hostname: str) -> str:
+        """The public suffix of ``hostname``.
+
+        Follows the PSL algorithm: exception rules win outright (their
+        suffix drops the leading label); otherwise the longest matching
+        rule wins; if nothing matches, the suffix is the last label
+        (the implicit ``*`` rule).
+        """
+        labels = tuple(label for label in hostname.lower().rstrip(".").split(".") if label)
+        if not labels:
+            raise ValueError(f"cannot extract public suffix from {hostname!r}")
+        matches = self._matching_rules(labels)
+        exceptions = [r for r in matches if r.is_exception]
+        if exceptions:
+            winner = max(exceptions, key=lambda r: r.length)
+            # An exception rule's suffix is the rule minus its first label.
+            return ".".join(labels[-(winner.length - 1):])
+        if matches:
+            winner = max(matches, key=lambda r: r.length)
+            return ".".join(labels[-winner.length:])
+        return labels[-1]
+
+    def registrable_domain(self, hostname: str) -> str:
+        """The registrable domain (public suffix + one label).
+
+        Raises ``ValueError`` if the hostname *is* a public suffix (e.g.
+        ``"com"`` or ``"co.uk"``) — such hosts have no registrable domain.
+        """
+        labels = tuple(label for label in hostname.lower().rstrip(".").split(".") if label)
+        suffix = self.public_suffix(hostname)
+        suffix_len = len(suffix.split("."))
+        if len(labels) <= suffix_len:
+            raise ValueError(
+                f"{hostname!r} is a public suffix; it has no registrable domain"
+            )
+        return ".".join(labels[-(suffix_len + 1):])
+
+
+_DEFAULT_PSL: PublicSuffixList | None = None
+
+
+def default_psl() -> PublicSuffixList:
+    """The process-wide PSL instance built from the embedded snapshot."""
+    global _DEFAULT_PSL
+    if _DEFAULT_PSL is None:
+        _DEFAULT_PSL = PublicSuffixList()
+    return _DEFAULT_PSL

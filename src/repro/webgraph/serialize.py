@@ -1,0 +1,147 @@
+"""Corpus serialization: archive and reload a synthetic web.
+
+A paper-scale corpus is cheap to regenerate, but archiving the exact web
+a study ran against makes runs auditable: the JSON-lines snapshot plus a
+:class:`StudyConfig` fully determines every number in EXPERIMENTS.md.
+The format is line-oriented JSON — one header line, one line per page,
+one line per link-graph edge — so snapshots diff cleanly under git.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import io
+import json
+import pathlib
+
+from repro.webgraph.corpus import Corpus
+from repro.webgraph.dates import StudyClock
+from repro.webgraph.linkgraph import LinkGraph
+from repro.webgraph.pages import DateMarkup, Page, PageKind
+
+__all__ = ["dump_corpus", "dumps_corpus", "load_corpus", "loads_corpus"]
+
+_FORMAT = "repro-corpus"
+_VERSION = 1
+
+
+def _page_record(page: Page) -> dict:
+    return {
+        "kind": "page",
+        "doc_id": page.doc_id,
+        "url": page.url,
+        "domain": page.domain,
+        "page_kind": page.kind.value,
+        "vertical": page.vertical,
+        "title": page.title,
+        "body": page.body,
+        "published": page.published.isoformat(),
+        "date_markup": page.date_markup.value,
+        "entities": list(page.entities),
+        "entity_stance": page.entity_stance,
+        "quality": page.quality,
+        "seo_score": page.seo_score,
+    }
+
+
+def _page_from_record(record: dict) -> Page:
+    return Page(
+        doc_id=record["doc_id"],
+        url=record["url"],
+        domain=record["domain"],
+        kind=PageKind(record["page_kind"]),
+        vertical=record["vertical"],
+        title=record["title"],
+        body=record["body"],
+        published=dt.date.fromisoformat(record["published"]),
+        date_markup=DateMarkup(record["date_markup"]),
+        entities=tuple(record["entities"]),
+        entity_stance=dict(record["entity_stance"]),
+        quality=record["quality"],
+        seo_score=record["seo_score"],
+    )
+
+
+def _write(corpus: Corpus, stream: io.TextIOBase) -> None:
+    header = {
+        "kind": "header",
+        "format": _FORMAT,
+        "version": _VERSION,
+        "study_date": corpus.clock.today.isoformat(),
+        "pages": len(corpus),
+        "edges": corpus.link_graph.edge_count(),
+        "nodes": corpus.link_graph.nodes(),
+    }
+    stream.write(json.dumps(header) + "\n")
+    for page in corpus.pages:
+        stream.write(json.dumps(_page_record(page)) + "\n")
+    for source, target, weight in corpus.link_graph.edges():
+        stream.write(
+            json.dumps(
+                {"kind": "edge", "source": source, "target": target, "weight": weight}
+            )
+            + "\n"
+        )
+
+
+def dumps_corpus(corpus: Corpus) -> str:
+    """Serialize a corpus to a JSON-lines string."""
+    buffer = io.StringIO()
+    _write(corpus, buffer)
+    return buffer.getvalue()
+
+
+def dump_corpus(corpus: Corpus, path: str | pathlib.Path) -> None:
+    """Serialize a corpus to a JSON-lines file."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as stream:
+        _write(corpus, stream)
+
+
+def _read(lines) -> Corpus:
+    header = None
+    pages: list[Page] = []
+    graph = LinkGraph()
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        kind = record.get("kind")
+        if header is None and kind != "header":
+            raise ValueError("snapshot is missing its header line")
+        if kind == "header":
+            if record.get("format") != _FORMAT:
+                raise ValueError(f"not a {_FORMAT} snapshot")
+            if record.get("version") != _VERSION:
+                raise ValueError(
+                    f"unsupported snapshot version {record.get('version')!r}"
+                )
+            header = record
+            graph.add_nodes(record.get("nodes", []))
+        elif kind == "page":
+            pages.append(_page_from_record(record))
+        elif kind == "edge":
+            graph.add_edge(record["source"], record["target"], record["weight"])
+        else:
+            raise ValueError(f"unknown record kind {kind!r} at line {line_number}")
+    if header is None:
+        raise ValueError("snapshot is missing its header line")
+    if header["pages"] != len(pages):
+        raise ValueError(
+            f"snapshot declares {header['pages']} pages but contains {len(pages)}"
+        )
+    clock = StudyClock(dt.date.fromisoformat(header["study_date"]))
+    return Corpus(pages=pages, link_graph=graph, clock=clock)
+
+
+def loads_corpus(text: str) -> Corpus:
+    """Deserialize a corpus from a JSON-lines string."""
+    return _read(text.splitlines())
+
+
+def load_corpus(path: str | pathlib.Path) -> Corpus:
+    """Deserialize a corpus from a JSON-lines file."""
+    with pathlib.Path(path).open("r", encoding="utf-8") as stream:
+        return _read(stream)

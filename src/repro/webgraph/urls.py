@@ -1,0 +1,64 @@
+"""URL parsing and normalization to registrable domains.
+
+Every overlap statistic in the paper starts from the same operation: take a
+cited URL, extract its host, and normalize it to the registrable domain
+(eTLD+1).  ``www.`` prefixes, ports, userinfo, trailing dots, uppercase
+hosts and scheme-less citations (``techradar.com/best-phones``) all occur
+in real engine output, so the normalizer handles each explicitly.
+"""
+
+from __future__ import annotations
+
+from urllib.parse import urlsplit
+
+from repro.webgraph.psl import PublicSuffixList, default_psl
+
+__all__ = ["extract_host", "normalize_url", "registrable_domain"]
+
+
+def extract_host(url: str) -> str:
+    """Extract the hostname from a URL or bare-domain citation.
+
+    Handles scheme-less inputs, userinfo, ports, and trailing dots.
+    Raises ``ValueError`` when no plausible host is present.
+    """
+    candidate = url.strip()
+    if not candidate:
+        raise ValueError("empty URL")
+    if "://" not in candidate:
+        # Bare citations like "techradar.com/best-phones" or "//cdn.x.com/a".
+        candidate = "http://" + candidate.lstrip("/")
+    parts = urlsplit(candidate)
+    host = parts.hostname
+    if not host:
+        raise ValueError(f"no hostname in URL {url!r}")
+    host = host.rstrip(".").lower()
+    if not host or "." not in host:
+        raise ValueError(f"hostname {host!r} from {url!r} is not a public host")
+    return host
+
+
+def registrable_domain(url: str, psl: PublicSuffixList | None = None) -> str:
+    """Normalize a URL to its registrable domain (eTLD+1).
+
+    >>> registrable_domain("https://www.techradar.com/best/phones")
+    'techradar.com'
+    >>> registrable_domain("http://reviews.shop.example.co.uk:8080/x?a=1")
+    'example.co.uk'
+    """
+    resolver = psl if psl is not None else default_psl()
+    return resolver.registrable_domain(extract_host(url))
+
+
+def normalize_url(url: str, psl: PublicSuffixList | None = None) -> str | None:
+    """Best-effort registrable-domain normalization.
+
+    Unlike :func:`registrable_domain` this returns ``None`` on inputs that
+    cannot be normalized (malformed citations, bare public suffixes), which
+    is how the analysis pipeline treats unusable citations: dropped, not
+    fatal.
+    """
+    try:
+        return registrable_domain(url, psl)
+    except ValueError:
+        return None

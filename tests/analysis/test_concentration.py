@@ -1,0 +1,149 @@
+"""Tests for the domain-concentration analysis and the overlap matrix."""
+
+import pytest
+
+from repro.analysis.concentration import domain_concentration
+from repro.analysis.overlap import system_pair_overlap
+from repro.engines.base import Answer, Citation
+
+
+def answer(engine, qid, domains):
+    return Answer(
+        engine=engine, query_id=qid, text="t",
+        citations=tuple(Citation(url=f"https://{d}/x/{i}", domain=d) for i, d in enumerate(domains)),
+    )
+
+
+class TestDomainConcentration:
+    def test_single_domain_is_fully_concentrated(self):
+        report = domain_concentration(
+            {"E": [answer("E", "q0", ["techradar.com"] * 4)]}
+        )
+        profile = report.engines["E"]
+        assert profile.hhi == pytest.approx(1.0)
+        assert profile.distinct_domains == 1
+        assert profile.top_domains[0] == ("techradar.com", 1.0)
+
+    def test_uniform_spread_has_low_hhi(self):
+        domains = [f"site{i}.com" for i in range(10)]
+        report = domain_concentration({"E": [answer("E", "q0", domains)]})
+        assert report.engines["E"].hhi == pytest.approx(0.1)
+
+    def test_type_shares(self):
+        report = domain_concentration(
+            {"E": [answer("E", "q0", ["techradar.com", "reddit.com"])]}
+        )
+        shares = report.engines["E"].type_shares
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_top_share(self):
+        report = domain_concentration(
+            {"E": [answer("E", "q0", ["a.com", "a.com", "b.com", "c.com"])]}
+        )
+        assert report.engines["E"].top_share(1) == pytest.approx(0.5)
+        assert report.engines["E"].top_share(3) == pytest.approx(1.0)
+
+    def test_empty_engine(self):
+        report = domain_concentration({"E": [Answer(engine="E", query_id="q", text="t")]})
+        profile = report.engines["E"]
+        assert profile.citation_count == 0
+        assert profile.hhi == 0.0
+        assert profile.top_domains == ()
+
+    def test_invalid_top_k(self):
+        with pytest.raises(ValueError):
+            domain_concentration({}, top_k=0)
+
+    def test_ordered_by_concentration(self):
+        report = domain_concentration(
+            {
+                "Tight": [answer("Tight", "q0", ["a.com", "a.com"])],
+                "Loose": [answer("Loose", "q0", ["a.com", "b.com"])],
+            }
+        )
+        assert [name for name, __ in report.ordered_by_concentration()] == [
+            "Tight", "Loose",
+        ]
+
+
+class TestSystemPairOverlap:
+    def test_matrix_covers_all_pairs(self):
+        answers = {
+            "A": [answer("A", "q0", ["x.com"])],
+            "B": [answer("B", "q0", ["x.com"])],
+            "C": [answer("C", "q0", ["y.com"])],
+        }
+        matrix = system_pair_overlap(answers)
+        assert set(matrix) == {("A", "B"), ("A", "C"), ("B", "C")}
+        assert matrix[("A", "B")] == pytest.approx(1.0)
+        assert matrix[("A", "C")] == 0.0
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError, match="misaligned"):
+            system_pair_overlap({"A": [], "B": [answer("B", "q0", ["x.com"])]})
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            system_pair_overlap({"A": [], "B": []})
+
+    def test_averages_over_queries(self):
+        answers = {
+            "A": [answer("A", "q0", ["x.com"]), answer("A", "q1", ["x.com"])],
+            "B": [answer("B", "q0", ["x.com"]), answer("B", "q1", ["z.com"])],
+        }
+        matrix = system_pair_overlap(answers)
+        assert matrix[("A", "B")] == pytest.approx(0.5)
+
+
+class TestOverlapByVertical:
+    def test_per_vertical_segmentation(self):
+        from repro.analysis.overlap import domain_overlap_by_vertical
+        from repro.entities.queries import Query, QueryKind
+
+        queries = [
+            Query(id="q0", text="a", kind=QueryKind.RANKING, vertical="suvs"),
+            Query(id="q1", text="b", kind=QueryKind.RANKING, vertical="hotels"),
+            Query(id="q2", text="c", kind=QueryKind.RANKING, vertical="suvs"),
+        ]
+        answers = {
+            "Google": [
+                answer("Google", "q0", ["a.com"]),
+                answer("Google", "q1", ["h.com"]),
+                answer("Google", "q2", ["a.com"]),
+            ],
+            "AI": [
+                answer("AI", "q0", ["a.com"]),   # suvs: overlap 1
+                answer("AI", "q1", ["z.com"]),   # hotels: overlap 0
+                answer("AI", "q2", ["b.com"]),   # suvs: overlap 0
+            ],
+        }
+        reports = domain_overlap_by_vertical(answers, queries)
+        assert set(reports) == {"suvs", "hotels"}
+        assert reports["suvs"].mean_overlap["AI"] == 0.5
+        assert reports["hotels"].mean_overlap["AI"] == 0.0
+        assert reports["suvs"].query_count == 2
+
+    def test_misaligned_rejected(self):
+        from repro.analysis.overlap import domain_overlap_by_vertical
+        from repro.entities.queries import Query, QueryKind
+
+        queries = [Query(id="q0", text="a", kind=QueryKind.RANKING, vertical="suvs")]
+        with pytest.raises(ValueError, match="answers for"):
+            domain_overlap_by_vertical({"Google": []}, queries)
+
+    def test_end_to_end_on_real_workload(self):
+        from repro.analysis.overlap import domain_overlap_by_vertical
+        from repro.core import StudyConfig, World
+        from repro.entities.queries import ranking_queries
+
+        world = World.build(StudyConfig(seed=7))
+        queries = ranking_queries(world.catalog, count=40, seed=1)
+        answers = {
+            name: engine.answer_all(queries)
+            for name, engine in world.engines.items()
+        }
+        reports = domain_overlap_by_vertical(answers, queries)
+        assert len(reports) == 10  # the ten consumer topics
+        for report in reports.values():
+            for value in report.mean_overlap.values():
+                assert 0.0 <= value <= 1.0

@@ -1,0 +1,186 @@
+"""Tests for HTML date extraction and the freshness report."""
+
+import datetime as dt
+
+import pytest
+
+from repro.analysis.freshness import extract_publication_date, freshness_by_engine
+from repro.engines.base import Answer, Citation
+from repro.webgraph.dates import StudyClock
+from repro.webgraph.html import render_page
+from repro.webgraph.pages import DateMarkup, Page, PageKind
+
+
+def make_page(markup, published=dt.date(2025, 3, 3)):
+    return Page(
+        doc_id=0,
+        url="https://techradar.com/x/1",
+        domain="techradar.com",
+        kind=PageKind.REVIEW,
+        vertical="smartphones",
+        title="A review",
+        body="Body text here.",
+        published=published,
+        date_markup=markup,
+    )
+
+
+class TestExtractPublicationDate:
+    @pytest.mark.parametrize(
+        "markup",
+        [DateMarkup.META, DateMarkup.JSON_LD, DateMarkup.TIME_TAG, DateMarkup.BODY_TEXT],
+    )
+    def test_extracts_from_every_markup_strategy(self, markup):
+        page = make_page(markup)
+        assert extract_publication_date(render_page(page)) == page.published
+
+    def test_returns_none_without_markup(self):
+        html = render_page(make_page(DateMarkup.NONE))
+        assert extract_publication_date(html) is None
+
+    def test_raw_meta_tag(self):
+        html = '<meta property="article:published_time" content="2024-12-25T10:00:00Z">'
+        assert extract_publication_date(html) == dt.date(2024, 12, 25)
+
+    def test_raw_json_ld(self):
+        html = (
+            '<script type="application/ld+json">'
+            '{"@type": "Article", "datePublished": "2024-06-01"}'
+            "</script>"
+        )
+        assert extract_publication_date(html) == dt.date(2024, 6, 1)
+
+    def test_json_ld_list_payload(self):
+        html = (
+            '<script type="application/ld+json">'
+            '[{"@type": "Organization"}, {"dateModified": "2024-07-15"}]'
+            "</script>"
+        )
+        assert extract_publication_date(html) == dt.date(2024, 7, 15)
+
+    def test_malformed_json_ld_is_skipped(self):
+        html = (
+            '<script type="application/ld+json">{not json}</script>'
+            '<time datetime="2024-02-02">Feb 2</time>'
+        )
+        assert extract_publication_date(html) == dt.date(2024, 2, 2)
+
+    def test_body_text_prose(self):
+        assert extract_publication_date(
+            "<p>Updated March 7, 2025 by staff</p>"
+        ) == dt.date(2025, 3, 7)
+
+    def test_invalid_calendar_dates_rejected(self):
+        assert extract_publication_date(
+            '<meta name="date" content="2024-13-45">'
+        ) is None
+
+    def test_precedence_meta_over_time(self):
+        html = (
+            '<meta name="date" content="2024-01-01">'
+            '<time datetime="2025-01-01">x</time>'
+        )
+        assert extract_publication_date(html) == dt.date(2024, 1, 1)
+
+    def test_empty_document(self):
+        assert extract_publication_date("") is None
+
+
+class TestFreshnessByEngine:
+    def make_answers(self, ages, markup=DateMarkup.META):
+        clock = StudyClock()
+        citations = []
+        for i, age in enumerate(ages):
+            page = Page(
+                doc_id=i,
+                url=f"https://techradar.com/x/{i}",
+                domain="techradar.com",
+                kind=PageKind.REVIEW,
+                vertical="smartphones",
+                title="t",
+                body="b",
+                published=clock.date_for_age(age),
+                date_markup=markup,
+            )
+            citations.append(Citation(url=page.url, domain=page.domain, page=page))
+        return [Answer(engine="E", query_id="q", text="t", citations=tuple(citations))], clock
+
+    def test_median_age(self):
+        answers, clock = self.make_answers([10, 20, 30])
+        report = freshness_by_engine({"E": answers}, clock)
+        assert report.median_age_days["E"] == 20
+        assert report.extraction_rate["E"] == 1.0
+        assert report.age_summary["E"].count == 3
+
+    def test_unextractable_dates_excluded_but_tracked(self):
+        answers, clock = self.make_answers([10, 20], markup=DateMarkup.NONE)
+        report = freshness_by_engine({"E": answers}, clock)
+        assert report.ages["E"] == []
+        assert report.extraction_rate["E"] == 0.0
+
+    def test_max_links_cap(self):
+        answers, clock = self.make_answers(list(range(1, 15)))
+        report = freshness_by_engine({"E": answers}, clock, max_links_per_answer=5)
+        assert len(report.ages["E"]) == 5
+
+    def test_invalid_cap(self):
+        answers, clock = self.make_answers([5])
+        with pytest.raises(ValueError):
+            freshness_by_engine({"E": answers}, clock, max_links_per_answer=0)
+
+    def test_ordered_by_median(self):
+        fresh, clock = self.make_answers([5, 6])
+        stale, __ = self.make_answers([100, 200])
+        report = freshness_by_engine({"Fresh": fresh, "Stale": stale}, clock)
+        assert [name for name, __ in report.ordered_by_median()] == ["Fresh", "Stale"]
+
+    def test_citations_without_pages_are_skipped(self):
+        clock = StudyClock()
+        answers = [
+            Answer(
+                engine="E", query_id="q", text="t",
+                citations=(Citation(url="https://x.com/1", domain="x.com"),),
+            )
+        ]
+        report = freshness_by_engine({"E": answers}, clock)
+        assert report.ages["E"] == []
+        assert report.extraction_rate["E"] == 0.0
+
+
+class TestExtractorRobustness:
+    """Real crawls see many date spellings; the extractor must cope."""
+
+    def test_open_graph_updated_time(self):
+        html = '<meta property="og:updated_time" content="2025-02-10T00:00:00Z">'
+        assert extract_publication_date(html) == dt.date(2025, 2, 10)
+
+    def test_dublin_core(self):
+        html = '<meta name="DC.date.issued" content="2024-11-30">'
+        assert extract_publication_date(html) == dt.date(2024, 11, 30)
+
+    def test_itemprop_date_published(self):
+        html = '<meta itemprop="datePublished" content="2025-01-02">'
+        assert extract_publication_date(html) == dt.date(2025, 1, 2)
+
+    def test_human_readable_datetime_attribute(self):
+        html = '<time datetime="March 3, 2025">some label</time>'
+        assert extract_publication_date(html) == dt.date(2025, 3, 3)
+
+    def test_time_element_text_fallback(self):
+        html = '<time class="byline">April 9, 2025</time>'
+        assert extract_publication_date(html) == dt.date(2025, 4, 9)
+
+    def test_unparseable_time_falls_through_to_body(self):
+        html = (
+            '<time datetime="yesterday">yesterday</time>'
+            "<p>Published on May 1, 2025</p>"
+        )
+        assert extract_publication_date(html) == dt.date(2025, 5, 1)
+
+    def test_publication_date_meta_variant(self):
+        html = '<meta name="publication_date" content="2024-08-08">'
+        assert extract_publication_date(html) == dt.date(2024, 8, 8)
+
+    def test_invalid_human_date_rejected(self):
+        html = '<time datetime="February 31, 2025">x</time>'
+        assert extract_publication_date(html) is None

@@ -1,0 +1,220 @@
+"""Tests for perturbations, pairwise consistency and citation misses."""
+
+import random
+
+import pytest
+
+from repro.analysis.citations import citation_miss_rates
+from repro.analysis.pairwise import pairwise_consistency, pairwise_win_counts
+from repro.analysis.perturbations import (
+    PerturbationKind,
+    entity_swap_injection,
+    sensitivity,
+    snippet_shuffle,
+)
+from repro.core import StudyConfig, World
+from repro.llm.context import ContextWindow, EvidenceSnippet
+from repro.llm.model import GroundingMode, RankedAnswer
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World.build(StudyConfig(seed=7))
+
+
+def make_context(catalog, entities, stance=0.4):
+    return ContextWindow(
+        EvidenceSnippet(
+            text=f"{catalog.get(e).name} proved reliable in our assessment.",
+            url=f"https://site{i}.com/p",
+            domain=f"site{i}.com",
+            entity_stance={e: stance},
+        )
+        for i, e in enumerate(entities)
+    )
+
+
+SUVS = ["suvs:toyota", "suvs:honda", "suvs:kia", "suvs:mazda", "suvs:subaru"]
+
+
+class TestSnippetShuffle:
+    def test_preserves_multiset(self, world):
+        ctx = make_context(world.catalog, SUVS)
+        shuffled = snippet_shuffle(ctx, random.Random(0))
+        assert sorted(s.url for s in ctx) == sorted(s.url for s in shuffled)
+
+    def test_changes_order_with_high_probability(self, world):
+        ctx = make_context(world.catalog, SUVS)
+        changed = sum(
+            snippet_shuffle(ctx, random.Random(i))[0].url != ctx[0].url
+            for i in range(20)
+        )
+        assert changed >= 10
+
+
+class TestEntitySwapInjection:
+    def test_swaps_stances_between_entities(self, world):
+        ctx = make_context(world.catalog, SUVS[:2], stance=0.9)
+        # Force the pair to swap by using exactly two candidates.
+        swapped = entity_swap_injection(
+            ctx, world.catalog, SUVS[:2], random.Random(0), swap_fraction=1.0
+        )
+        # Snippet 0 supported toyota before; after the swap it must
+        # support honda (identities exchanged).
+        before = ctx[0].entity_stance
+        after = swapped[0].entity_stance
+        assert set(before) != set(after)
+        assert set(after) <= set(SUVS[:2])
+
+    def test_swaps_surface_forms_in_text(self, world):
+        ctx = make_context(world.catalog, ["suvs:toyota", "suvs:honda"])
+        swapped = entity_swap_injection(
+            ctx, world.catalog, ["suvs:toyota", "suvs:honda"],
+            random.Random(0), swap_fraction=1.0,
+        )
+        toyota_snips_before = [s.text for s in ctx if "Toyota" in s.text]
+        assert toyota_snips_before
+        # Every pre-swap Toyota mention became Honda.
+        for snippet in swapped:
+            if "proved reliable" in snippet.text and "Honda" in snippet.text:
+                break
+        else:
+            pytest.fail("swap did not rewrite surface forms")
+
+    def test_preserves_context_shape(self, world):
+        ctx = make_context(world.catalog, SUVS)
+        swapped = entity_swap_injection(ctx, world.catalog, SUVS, random.Random(1))
+        assert len(swapped) == len(ctx)
+        assert [s.url for s in swapped] == [s.url for s in ctx]
+
+    def test_invalid_fraction(self, world):
+        ctx = make_context(world.catalog, SUVS)
+        with pytest.raises(ValueError):
+            entity_swap_injection(ctx, world.catalog, SUVS, random.Random(0), swap_fraction=0.0)
+
+
+class TestSensitivity:
+    def test_delta_avg_and_determinism(self, world):
+        ctx = make_context(world.catalog, SUVS)
+        result_a = sensitivity(
+            world.reference_llm, "best suvs", SUVS, ctx,
+            PerturbationKind.SNIPPET_SHUFFLE, runs=5, seed=3,
+        )
+        result_b = sensitivity(
+            world.reference_llm, "best suvs", SUVS, ctx,
+            PerturbationKind.SNIPPET_SHUFFLE, runs=5, seed=3,
+        )
+        assert result_a.deltas == result_b.deltas
+        assert result_a.delta_avg >= 0.0
+        assert len(result_a.deltas) == 5
+
+    def test_entity_swap_requires_catalog(self, world):
+        ctx = make_context(world.catalog, SUVS)
+        with pytest.raises(ValueError, match="catalog"):
+            sensitivity(
+                world.reference_llm, "q", SUVS, ctx,
+                PerturbationKind.ENTITY_SWAP, runs=2,
+            )
+
+    def test_zero_runs_rejected(self, world):
+        ctx = make_context(world.catalog, SUVS)
+        with pytest.raises(ValueError):
+            sensitivity(
+                world.reference_llm, "q", SUVS, ctx,
+                PerturbationKind.SNIPPET_SHUFFLE, runs=0,
+            )
+
+    def test_strict_mode_is_more_stable_than_normal_for_niche(self, world):
+        law = [e.id for e in world.catalog.in_vertical("family_law_toronto")][:10]
+        # Distinct stances: under strict grounding the evidence then fully
+        # determines the order; identical stances would be a pure tie.
+        ctx = ContextWindow(
+            EvidenceSnippet(
+                text=f"{world.catalog.get(e).name} assessment",
+                url=f"https://site{i}.com/p",
+                domain=f"site{i}.com",
+                entity_stance={e: -0.8 + 1.6 * i / (len(law) - 1)},
+            )
+            for i, e in enumerate(law)
+        )
+        normal = sensitivity(
+            world.reference_llm, "top toronto family law firms", law, ctx,
+            PerturbationKind.SNIPPET_SHUFFLE, mode=GroundingMode.NORMAL, runs=8,
+        )
+        strict = sensitivity(
+            world.reference_llm, "top toronto family law firms", law, ctx,
+            PerturbationKind.SNIPPET_SHUFFLE, mode=GroundingMode.STRICT, runs=8,
+        )
+        assert strict.delta_avg < normal.delta_avg
+
+
+class TestPairwise:
+    def test_win_counts_total(self, world):
+        ctx = make_context(world.catalog, SUVS)
+        wins = pairwise_win_counts(world.reference_llm, "best suvs", SUVS, ctx)
+        n = len(SUVS)
+        assert sum(wins.values()) == n * (n - 1) // 2
+        assert set(wins) == set(SUVS)
+
+    def test_requires_two_candidates(self, world):
+        with pytest.raises(ValueError):
+            pairwise_win_counts(
+                world.reference_llm, "q", ["suvs:kia"], make_context(world.catalog, [])
+            )
+
+    def test_consistency_result_fields(self, world):
+        ctx = make_context(world.catalog, SUVS)
+        result = pairwise_consistency(world.reference_llm, "best suvs", SUVS, ctx)
+        assert -1.0 <= result.tau <= 1.0
+        assert len(result.holistic_ranking) == len(SUVS)
+        assert result.mode is GroundingMode.NORMAL
+
+    def test_strict_popular_tournament_is_highly_consistent(self, world):
+        # Well-supported popular entities: strict pairwise shares the
+        # holistic noise, so tau should be near 1.
+        ctx = ContextWindow(
+            EvidenceSnippet(
+                text="s", url=f"https://s{i}{j}.com/p", domain=f"s{i}{j}.com",
+                entity_stance={e: 0.2 + 0.1 * (hash(e) % 5)},
+            )
+            for j, e in enumerate(SUVS)
+            for i in range(3)
+        )
+        result = pairwise_consistency(
+            world.reference_llm, "best suvs strict", SUVS, ctx, GroundingMode.STRICT
+        )
+        assert result.tau > 0.7
+
+
+class TestCitationMissRates:
+    def make_answer(self, ranking, cited):
+        return RankedAnswer(
+            query="q",
+            mode=GroundingMode.NORMAL,
+            ranking=tuple(ranking),
+            scores={e: 0.0 for e in ranking},
+            citations={
+                e: (("https://x.com/1",) if e in cited else ()) for e in ranking
+            },
+        )
+
+    def test_rates(self):
+        answers = [
+            self.make_answer(["a", "b"], cited={"a"}),
+            self.make_answer(["a", "b"], cited={"a", "b"}),
+        ]
+        report = citation_miss_rates(answers)
+        assert report.miss_rate["a"] == 0.0
+        assert report.miss_rate["b"] == 0.5
+        assert report.overall_miss_rate == pytest.approx(1 / 4)
+        assert report.ranked_counts == {"a": 2, "b": 2}
+        assert report.miss_counts == {"a": 0, "b": 1}
+
+    def test_empty_answers_rejected(self):
+        with pytest.raises(ValueError):
+            citation_miss_rates([])
+
+    def test_rate_for_unknown_entity(self):
+        report = citation_miss_rates([self.make_answer(["a"], cited={"a"})])
+        with pytest.raises(KeyError):
+            report.rate_for("zzz")

@@ -1,0 +1,70 @@
+"""Tests for the typology analysis."""
+
+import pytest
+
+from repro.analysis.typology import typology_by_intent
+from repro.engines.base import Answer, Citation
+from repro.entities.intents import Intent
+from repro.entities.queries import Query, QueryKind
+from repro.webgraph.domains import SourceType
+
+
+def query(qid, intent):
+    return Query(
+        id=qid, text="some query", kind=QueryKind.INTENT,
+        vertical="smartphones", intent=intent,
+    )
+
+
+def answer(engine, qid, domains):
+    return Answer(
+        engine=engine, query_id=qid, text="t",
+        citations=tuple(Citation(url=f"https://{d}/x", domain=d) for d in domains),
+    )
+
+
+class TestTypologyByIntent:
+    def test_shares_sum_to_one(self):
+        queries = [query("q0", Intent.INFORMATIONAL)]
+        answers = {"E": [answer("E", "q0", ["techradar.com", "reddit.com", "bestbuy.com"])]}
+        report = typology_by_intent(answers, queries)
+        assert sum(report.overall["E"].values()) == pytest.approx(1.0)
+        assert report.share("E", SourceType.EARNED) == pytest.approx(1 / 3)
+        assert report.share("E", SourceType.SOCIAL) == pytest.approx(1 / 3)
+        assert report.share("E", SourceType.BRAND) == pytest.approx(1 / 3)
+
+    def test_per_intent_segmentation(self):
+        queries = [query("q0", Intent.INFORMATIONAL), query("q1", Intent.TRANSACTIONAL)]
+        answers = {
+            "E": [
+                answer("E", "q0", ["techradar.com"]),
+                answer("E", "q1", ["bestbuy.com"]),
+            ]
+        }
+        report = typology_by_intent(answers, queries)
+        assert report.intent_share(Intent.INFORMATIONAL, "E", SourceType.EARNED) == 1.0
+        assert report.intent_share(Intent.TRANSACTIONAL, "E", SourceType.BRAND) == 1.0
+        assert report.intent_share(Intent.CONSIDERATION, "E", SourceType.EARNED) == 0.0
+
+    def test_empty_answers_counted(self):
+        queries = [query("q0", Intent.INFORMATIONAL)]
+        answers = {"E": [Answer(engine="E", query_id="q0", text="t")]}
+        report = typology_by_intent(answers, queries)
+        assert report.empty_answers["E"] == 1
+        assert report.citation_counts["E"] == 0
+        assert sum(report.overall["E"].values()) == 0.0
+
+    def test_misaligned_lengths_raise(self):
+        queries = [query("q0", Intent.INFORMATIONAL)]
+        with pytest.raises(ValueError, match="answers for"):
+            typology_by_intent({"E": []}, queries)
+
+    def test_classifier_injection(self):
+        class AlwaysSocial:
+            def classify(self, domain, page=None):
+                return SourceType.SOCIAL
+
+        queries = [query("q0", Intent.CONSIDERATION)]
+        answers = {"E": [answer("E", "q0", ["techradar.com"])]}
+        report = typology_by_intent(answers, queries, classifier=AlwaysSocial())
+        assert report.share("E", SourceType.SOCIAL) == 1.0

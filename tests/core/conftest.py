@@ -1,0 +1,69 @@
+"""Shared small-scale study fixtures for core tests.
+
+The world is built once per session; the study runs every experiment at a
+reduced (but non-trivial) scale so the paper's shape claims can be
+asserted as integration tests.
+"""
+
+import pytest
+
+from repro.core import StudyConfig, World
+from repro.core.config import WorkloadSizes
+from repro.core.study import ComparativeStudy
+
+SMALL_SIZES = WorkloadSizes(
+    ranking_queries=120,
+    comparison_popular=30,
+    comparison_niche=30,
+    intent_queries=90,
+    freshness_queries_per_vertical=18,
+    perturbation_queries=10,
+    perturbation_runs=5,
+    pairwise_queries=6,
+    citation_queries=40,
+)
+
+
+@pytest.fixture(scope="session")
+def world():
+    return World.build(StudyConfig(seed=7, sizes=SMALL_SIZES))
+
+
+@pytest.fixture(scope="session")
+def study(world):
+    return ComparativeStudy(world)
+
+
+@pytest.fixture(scope="session")
+def fig1(study):
+    return study.domain_overlap_ranking()
+
+
+@pytest.fixture(scope="session")
+def fig2(study):
+    return study.domain_overlap_popular_niche()
+
+
+@pytest.fixture(scope="session")
+def fig3(study):
+    return study.source_typology()
+
+
+@pytest.fixture(scope="session")
+def fig4(study):
+    return study.freshness()
+
+
+@pytest.fixture(scope="session")
+def table1(study):
+    return study.perturbation_sensitivity()
+
+
+@pytest.fixture(scope="session")
+def table2(study):
+    return study.pairwise_agreement()
+
+
+@pytest.fixture(scope="session")
+def table3(study):
+    return study.citation_misses()

@@ -1,0 +1,92 @@
+"""Tests for the experiment registry, renderers, and calibration index."""
+
+import pytest
+
+from repro.core.calibration import CALIBRATION_NOTES, calibration_report
+from repro.core.experiments import EXPERIMENTS, run_experiment
+from repro.core.report import (
+    render_fig1,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+
+class TestExperimentRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig1", "fig2", "fig3", "fig4", "table1", "table2", "table3",
+        }
+
+    def test_specs_are_complete(self):
+        for spec in EXPERIMENTS.values():
+            assert spec.paper_artifact
+            assert spec.description
+            assert spec.workload
+            assert callable(spec.runner)
+            assert callable(spec.renderer)
+
+    def test_unknown_experiment_raises(self, world):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig9", world)
+
+    def test_run_experiment_returns_result_and_text(self, world):
+        result, text = run_experiment("fig3", world)
+        assert result is not None
+        assert "Figure 3" in text
+
+
+class TestRenderers:
+    def test_fig1(self, fig1):
+        text = render_fig1(fig1)
+        assert "Figure 1" in text
+        assert "GPT-4o" in text and "Perplexity" in text
+        assert "%" in text
+
+    def test_fig2(self, fig2):
+        text = render_fig2(fig2)
+        assert "Figure 2" in text
+        assert "unique-domain ratio" in text
+        assert "cross-model overlap" in text
+
+    def test_fig3(self, fig3):
+        text = render_fig3(fig3)
+        assert "Figure 3" in text
+        for intent in ("informational", "consideration", "transactional"):
+            assert intent in text
+
+    def test_fig4(self, fig4):
+        text = render_fig4(fig4)
+        assert "Consumer Electronics" in text
+        assert "Automotive" in text
+        assert "median" in text
+
+    def test_table1(self, table1):
+        text = render_table1(table1)
+        assert "Popular Entities" in text and "Niche Entities" in text
+        assert "SS (Normal)" in text and "ESI" in text
+
+    def test_table2(self, table2):
+        text = render_table2(table2)
+        assert "tau (Normal)" in text and "tau (Strict)" in text
+
+    def test_table3(self, table3):
+        text = render_table3(table3)
+        assert "Toyota" in text and "Infiniti" in text
+        assert "overall miss rate" in text
+
+
+class TestCalibration:
+    def test_notes_are_complete(self):
+        assert len(CALIBRATION_NOTES) >= 8
+        for note in CALIBRATION_NOTES:
+            assert note.parameter and note.location
+            assert note.constrained_by and note.rationale
+
+    def test_report_renders(self):
+        text = calibration_report()
+        assert "Calibration index" in text
+        assert "EXPOSURE_ALPHA" in text

@@ -1,0 +1,241 @@
+"""Integration tests: the paper's shape claims, end to end.
+
+These are the most important tests in the repository: each asserts one of
+the qualitative findings of the paper against a full (reduced-scale) run
+of the corresponding experiment.  Absolute magnitudes are not asserted —
+the substrate is synthetic — only orderings, separations and directions.
+"""
+
+import math
+
+from repro.engines.registry import AI_ENGINE_NAMES
+from repro.entities.intents import Intent
+from repro.webgraph.domains import SourceType
+
+
+class TestFigure1Shape:
+    def test_overlap_is_uniformly_low(self, fig1):
+        for system in AI_ENGINE_NAMES:
+            assert fig1.mean_overlap[system] < 0.35, system
+
+    def test_gpt4o_has_the_lowest_overlap(self, fig1):
+        ordered = fig1.ordered_by_overlap()
+        assert ordered[0][0] == "GPT-4o"
+
+    def test_perplexity_has_the_highest_overlap(self, fig1):
+        ordered = fig1.ordered_by_overlap()
+        assert ordered[-1][0] == "Perplexity"
+
+
+class TestFigure2Shape:
+    def test_niche_raises_overlap_for_most_models(self, fig2):
+        raised = sum(
+            fig2.overlap_shift(system) > 0
+            for system in AI_ENGINE_NAMES
+            if system in fig2.vs_google_popular.mean_overlap
+        )
+        assert raised >= 3
+
+    def test_gpt4o_stays_lowest_on_popular_and_near_lowest_on_niche(self, fig2):
+        popular = fig2.vs_google_popular.mean_overlap
+        assert min(popular, key=popular.get) == "GPT-4o"
+        niche_sorted = sorted(
+            fig2.vs_google_niche.mean_overlap.items(), key=lambda kv: kv[1]
+        )
+        assert "GPT-4o" in {name for name, __ in niche_sorted[:2]}
+
+    def test_unique_domain_ratio_declines_for_niche(self, fig2):
+        assert (
+            fig2.vs_google_niche.unique_domain_ratio
+            < fig2.vs_google_popular.unique_domain_ratio
+        )
+
+    def test_cross_model_overlap_rises_for_niche(self, fig2):
+        assert (
+            fig2.vs_google_niche.cross_model_overlap
+            > fig2.vs_google_popular.cross_model_overlap
+        )
+
+
+class TestFigure3Shape:
+    def test_google_is_the_most_balanced(self, fig3):
+        # Google's max type share is the smallest among all systems: its
+        # composition is the least concentrated.
+        def concentration(system):
+            return max(fig3.overall[system].values())
+        assert concentration("Google") == min(
+            concentration(s) for s in fig3.systems
+        )
+
+    def test_google_has_substantial_social(self, fig3):
+        assert fig3.share("Google", SourceType.SOCIAL) > 0.15
+
+    def test_ai_engines_favor_earned_over_social(self, fig3):
+        for system in AI_ENGINE_NAMES:
+            assert fig3.share(system, SourceType.EARNED) > fig3.share(
+                system, SourceType.SOCIAL
+            ), system
+
+    def test_claude_is_most_earned_concentrated_with_no_social(self, fig3):
+        claude_earned = fig3.share("Claude", SourceType.EARNED)
+        for system in AI_ENGINE_NAMES:
+            assert claude_earned >= fig3.share(system, SourceType.EARNED)
+        assert fig3.share("Claude", SourceType.SOCIAL) < 0.02
+
+    def test_all_ai_engines_swing_to_brand_for_transactional(self, fig3):
+        for system in AI_ENGINE_NAMES:
+            transactional = fig3.intent_share(
+                Intent.TRANSACTIONAL, system, SourceType.BRAND
+            )
+            consideration = fig3.intent_share(
+                Intent.CONSIDERATION, system, SourceType.BRAND
+            )
+            assert transactional > consideration + 0.2, system
+
+    def test_google_profile_varies_least_across_intents(self, fig3):
+        def intent_spread(system):
+            spreads = []
+            for source_type in SourceType:
+                values = [
+                    fig3.intent_share(intent, system, source_type)
+                    for intent in Intent
+                ]
+                spreads.append(max(values) - min(values))
+            return max(spreads)
+        google_spread = intent_spread("Google")
+        larger = sum(
+            intent_spread(system) > google_spread for system in AI_ENGINE_NAMES
+        )
+        assert larger >= 3
+
+    def test_claude_skips_most_informational_and_transactional(self, fig3):
+        # "Claude initially returned no links for most informational and
+        # transactional queries" — visible as empty answers.
+        assert fig3.empty_answers["Claude"] > fig3.empty_answers["GPT-4o"]
+        assert fig3.empty_answers["Claude"] > 30  # of ~60 inf+trans queries
+
+
+class TestFigure4Shape:
+    def test_ai_engines_cite_newer_content_than_google(self, fig4):
+        for report in (fig4.electronics, fig4.automotive):
+            google = report.median_age_days["Google"]
+            for system in ("GPT-4o", "Claude", "Perplexity"):
+                assert report.median_age_days[system] < google, (
+                    report.vertical_group, system,
+                )
+
+    def test_automotive_is_older_than_electronics(self, fig4):
+        for system in ("Google", "GPT-4o", "Claude", "Perplexity"):
+            assert (
+                fig4.automotive.median_age_days[system]
+                > fig4.electronics.median_age_days[system]
+            ), system
+
+    def test_claude_is_among_the_freshest(self, fig4):
+        order = [name for name, __ in fig4.electronics.ordered_by_median()]
+        assert order.index("Claude") <= 2
+
+    def test_ages_are_finite_and_positive(self, fig4):
+        for report in (fig4.electronics, fig4.automotive):
+            for system, age in report.median_age_days.items():
+                assert not math.isnan(age), system
+                assert age > 0
+
+    def test_extraction_rate_reflects_markup_mix(self, fig4):
+        # ~10% of pages expose no date; extraction succeeds on the rest
+        # (sampling noise per engine pulls individual rates a bit lower).
+        for report in (fig4.electronics, fig4.automotive):
+            for system, rate in report.extraction_rate.items():
+                assert 0.7 <= rate <= 1.0, (system, rate)
+
+
+class TestTable1Shape:
+    def test_niche_is_more_order_sensitive_than_popular(self, table1):
+        assert table1.ss_normal["niche"] > table1.ss_normal["popular"] + 0.5
+
+    def test_strict_grounding_stabilizes_both(self, table1):
+        for setting in ("popular", "niche"):
+            assert table1.ss_strict[setting] < table1.ss_normal[setting]
+
+    def test_strict_stabilizes_niche_below_popular(self, table1):
+        assert table1.ss_strict["niche"] < table1.ss_strict["popular"]
+
+    def test_esi_exceeds_shuffle_for_niche(self, table1):
+        assert table1.esi["niche"] > table1.ss_normal["popular"]
+
+    def test_niche_esi_is_the_largest_cell(self, table1):
+        cells = [
+            table1.ss_normal["popular"], table1.ss_strict["popular"],
+            table1.esi["popular"], table1.ss_strict["niche"],
+        ]
+        assert table1.esi["niche"] > max(cells)
+
+
+class TestTable2Shape:
+    def test_popular_tau_exceeds_niche(self, table2):
+        assert table2.tau_normal["popular"] > table2.tau_normal["niche"] + 0.2
+        assert table2.tau_strict["popular"] > table2.tau_strict["niche"]
+
+    def test_strict_grounding_raises_tau(self, table2):
+        for setting in ("popular", "niche"):
+            assert table2.tau_strict[setting] > table2.tau_normal[setting]
+
+    def test_popular_levels(self, table2):
+        assert table2.tau_normal["popular"] > 0.8
+        assert table2.tau_strict["popular"] > 0.9
+
+    def test_niche_normal_is_genuinely_inconsistent(self, table2):
+        assert table2.tau_normal["niche"] < 0.7
+
+
+class TestTable3Shape:
+    def test_mainstream_makes_are_consistently_cited(self, table3):
+        assert table3.representative["Toyota"] < 0.15
+        assert table3.representative["Honda"] < 0.15
+
+    def test_peripheral_makes_frequently_miss(self, table3):
+        assert table3.representative["Cadillac"] > 0.25
+        assert table3.representative["Infiniti"] > 0.35
+
+    def test_overall_miss_rate_near_paper(self, table3):
+        # Paper: "16% of ranked entities lacked snippet support."
+        assert 0.08 <= table3.overall_miss_rate <= 0.3
+
+    def test_gradient_mainstream_to_peripheral(self, table3):
+        mainstream = (
+            table3.representative["Toyota"]
+            + table3.representative["Honda"]
+            + table3.representative["Kia"]
+        ) / 3
+        peripheral = (
+            table3.representative["Cadillac"]
+            + table3.representative["Infiniti"]
+        ) / 2
+        assert peripheral > mainstream + 0.25
+
+
+class TestCrossSystemStructure:
+    def test_ai_engines_agree_more_with_each_other_than_with_google(self, study):
+        """'AI and traditional search operate over distinct source
+        landscapes' (Section 2.1): the generative engines' mutual overlap
+        must exceed their overlap with Google."""
+        from repro.analysis.overlap import system_pair_overlap
+        from repro.entities.queries import ranking_queries
+
+        world = study.world
+        queries = ranking_queries(world.catalog, count=80, seed=world.config.seed + 11)
+        answers = {
+            name: engine.answer_all(queries)
+            for name, engine in world.engines.items()
+        }
+        matrix = system_pair_overlap(answers)
+        ai_pairs = [
+            value for (a, b), value in matrix.items()
+            if a != "Google" and b != "Google"
+        ]
+        google_pairs = [
+            value for (a, b), value in matrix.items()
+            if a == "Google" or b == "Google"
+        ]
+        assert min(ai_pairs) > min(google_pairs)
+        assert sum(ai_pairs) / len(ai_pairs) > sum(google_pairs) / len(google_pairs)

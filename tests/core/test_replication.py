@@ -1,0 +1,91 @@
+"""Tests for the multi-seed replication module."""
+
+import pytest
+
+from repro.core.config import WorkloadSizes
+from repro.core.replication import (
+    DEFAULT_CLAIMS,
+    DEFAULT_METRICS,
+    ClaimCheck,
+    MetricExtractor,
+    replicate,
+)
+
+TINY_SIZES = WorkloadSizes(
+    ranking_queries=40,
+    comparison_popular=6,
+    comparison_niche=6,
+    intent_queries=12,
+    freshness_queries_per_vertical=8,
+    perturbation_queries=6,
+    perturbation_runs=3,
+    pairwise_queries=3,
+    citation_queries=15,
+)
+
+SMALL_METRICS = (
+    DEFAULT_METRICS[0],  # fig1 gpt4o overlap
+    DEFAULT_METRICS[1],  # fig1 perplexity overlap
+    DEFAULT_METRICS[3],  # table1 niche - popular SSn
+)
+SMALL_CLAIMS = (DEFAULT_CLAIMS[0], DEFAULT_CLAIMS[2])
+
+
+@pytest.fixture(scope="module")
+def report():
+    return replicate(
+        seeds=[11, 12],
+        metrics=SMALL_METRICS,
+        claims=SMALL_CLAIMS,
+        sizes=TINY_SIZES,
+        bootstrap_resamples=100,
+    )
+
+
+class TestReplicate:
+    def test_per_seed_metrics_recorded(self, report):
+        assert set(report.per_seed_metrics) == {11, 12}
+        for values in report.per_seed_metrics.values():
+            assert set(values) == {m.name for m in SMALL_METRICS}
+
+    def test_intervals_bracket_the_estimates(self, report):
+        for name, interval in report.metric_intervals.items():
+            assert interval.low <= interval.estimate <= interval.high, name
+
+    def test_claim_counts_in_range(self, report):
+        for name in report.claim_counts:
+            assert 0 <= report.claim_counts[name] <= report.replicate_count
+            assert 0.0 <= report.claim_rate(name) <= 1.0
+
+    def test_headline_claims_hold_at_tiny_scale(self, report):
+        # Even at a tiny scale, the overlap-gap and order-sensitivity
+        # claims should replicate on both seeds.
+        assert report.claim_counts[DEFAULT_CLAIMS[0].name] == 2
+
+    def test_render(self, report):
+        text = report.render()
+        assert "Replication over 2 seeds" in text
+        assert "claims" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replicate(seeds=[])
+        with pytest.raises(ValueError):
+            replicate(seeds=[1, 1])
+
+    def test_single_seed_degenerate_interval(self):
+        single = replicate(
+            seeds=[11], metrics=SMALL_METRICS[:1], claims=(),
+            sizes=TINY_SIZES,
+        )
+        interval = single.metric_intervals[SMALL_METRICS[0].name]
+        assert interval.low == interval.high == interval.estimate
+
+    def test_custom_metric_and_claim(self):
+        metric = MetricExtractor("constant", lambda study: 1.0)
+        claim = ClaimCheck("constant is positive", lambda m: m["constant"] > 0)
+        result = replicate(
+            seeds=[11], metrics=(metric,), claims=(claim,), sizes=TINY_SIZES
+        )
+        assert result.claim_counts["constant is positive"] == 1
+        assert result.metric_intervals["constant"].estimate == 1.0

@@ -1,0 +1,10 @@
+"""Shared world fixture for engine tests (built once per session)."""
+
+import pytest
+
+from repro.core import StudyConfig, World
+
+
+@pytest.fixture(scope="session")
+def world():
+    return World.build(StudyConfig(seed=7))

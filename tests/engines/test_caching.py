@@ -1,0 +1,72 @@
+"""Tests for engine answer memoization."""
+
+from repro.engines.base import Answer, AnswerEngine
+from repro.entities.queries import Query, QueryKind
+
+
+class CountingEngine(AnswerEngine):
+    name = "Counting"
+    cache_limit = 3
+
+    def __init__(self):
+        super().__init__()
+        self.calls = 0
+
+    def _answer_uncached(self, query: Query) -> Answer:
+        self.calls += 1
+        return Answer(engine=self.name, query_id=query.id, text=query.text)
+
+
+def make_query(i: int, text: str | None = None) -> Query:
+    return Query(
+        id=f"q{i}", text=text or f"query {i}", kind=QueryKind.RANKING,
+        vertical="suvs",
+    )
+
+
+class TestAnswerCaching:
+    def test_repeat_queries_hit_the_cache(self):
+        engine = CountingEngine()
+        query = make_query(0)
+        first = engine.answer(query)
+        second = engine.answer(query)
+        assert engine.calls == 1
+        assert first is second
+
+    def test_distinct_queries_miss(self):
+        engine = CountingEngine()
+        engine.answer(make_query(0))
+        engine.answer(make_query(1))
+        assert engine.calls == 2
+
+    def test_same_id_different_text_misses(self):
+        # Identity includes the text, not just the id.
+        engine = CountingEngine()
+        engine.answer(make_query(0, "alpha"))
+        engine.answer(make_query(0, "beta"))
+        assert engine.calls == 2
+
+    def test_eviction_beyond_limit(self):
+        engine = CountingEngine()
+        for i in range(4):  # limit is 3: q0 evicted
+            engine.answer(make_query(i))
+        engine.answer(make_query(3))  # hit
+        assert engine.calls == 4
+        engine.answer(make_query(0))  # evicted -> recompute
+        assert engine.calls == 5
+
+    def test_answer_all_uses_cache(self):
+        engine = CountingEngine()
+        queries = [make_query(0), make_query(0), make_query(1)]
+        answers = engine.answer_all(queries)
+        assert engine.calls == 2
+        assert answers[0] is answers[1]
+
+    def test_real_engine_caches(self, world):
+        from repro.entities.queries import ranking_queries
+
+        query = ranking_queries(world.catalog, count=1, seed=77)[0]
+        gpt = world.engines["GPT-4o"]
+        first = gpt.answer(query)
+        second = gpt.answer(query)
+        assert first is second

@@ -1,0 +1,31 @@
+"""Accuracy of the surface-cue intent detector against labeled queries.
+
+The intent-typed workload (Figure 3) carries ground-truth intent labels
+from its templates; the engines' internal detector should recover them
+with high accuracy, since intent adaptation (the transactional brand
+swing) hinges on it.
+"""
+
+from repro.engines.retrieval import detect_intent
+from repro.entities.intents import Intent
+from repro.entities.queries import intent_queries
+
+
+def test_detector_accuracy_on_labeled_workload(world):
+    queries = intent_queries(world.catalog, count=300, seed=3)
+    correct = {intent: 0 for intent in Intent}
+    totals = {intent: 0 for intent in Intent}
+    for query in queries:
+        totals[query.intent] += 1
+        if detect_intent(query.text) is query.intent:
+            correct[query.intent] += 1
+    for intent in Intent:
+        recall = correct[intent] / totals[intent]
+        assert recall > 0.8, (intent, recall)
+
+
+def test_detector_never_calls_ranking_queries_transactional(world):
+    from repro.entities.queries import ranking_queries
+
+    for query in ranking_queries(world.catalog, count=100, seed=4):
+        assert detect_intent(query.text) is not Intent.TRANSACTIONAL, query.text

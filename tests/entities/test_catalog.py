@@ -1,0 +1,148 @@
+"""Tests for verticals and the entity catalog."""
+
+import pytest
+
+from repro.entities.catalog import (
+    POPULARITY_THRESHOLD,
+    Entity,
+    EntityCatalog,
+    build_default_catalog,
+)
+from repro.entities.verticals import (
+    AUTOMOTIVE_VERTICALS,
+    CONSUMER_TOPICS,
+    NICHE_VERTICALS,
+    VerticalGroup,
+    all_verticals,
+    get_vertical,
+)
+
+
+class TestVerticals:
+    def test_ten_consumer_topics(self):
+        assert len(CONSUMER_TOPICS) == 10
+        assert len(set(CONSUMER_TOPICS)) == 10
+
+    def test_paper_topics_present(self):
+        for topic in (
+            "smartphones", "athletic_shoes", "skincare", "electric_cars",
+            "streaming", "laptops", "airlines", "hotels", "credit_cards",
+            "smartwatches",
+        ):
+            assert topic in CONSUMER_TOPICS
+
+    def test_get_vertical(self):
+        assert get_vertical("suvs").noun == "SUVs"
+        with pytest.raises(KeyError, match="unknown vertical"):
+            get_vertical("zeppelins")
+
+    def test_niche_verticals_flagged(self):
+        for vertical_id in NICHE_VERTICALS:
+            assert get_vertical(vertical_id).is_niche
+
+    def test_consumer_topics_not_niche(self):
+        for vertical_id in CONSUMER_TOPICS:
+            assert not get_vertical(vertical_id).is_niche
+
+    def test_automotive_ages_slower(self):
+        for vertical_id in AUTOMOTIVE_VERTICALS:
+            assert get_vertical(vertical_id).age_scale > 2.0
+        assert get_vertical("smartphones").age_scale == 1.0
+
+    def test_all_verticals_have_vocabulary(self):
+        for vertical in all_verticals():
+            assert len(vertical.keywords) >= 3
+            assert len(vertical.qualifiers) >= 3
+            assert vertical.noun
+            assert isinstance(vertical.group, VerticalGroup)
+
+
+class TestEntity:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="popularity"):
+            Entity(id="x", name="X", vertical="suvs", popularity=1.2, true_quality=0.5)
+        with pytest.raises(ValueError, match="true_quality"):
+            Entity(id="x", name="X", vertical="suvs", popularity=0.5, true_quality=-0.1)
+        with pytest.raises(KeyError):
+            Entity(id="x", name="X", vertical="nope", popularity=0.5, true_quality=0.5)
+
+    def test_popularity_split(self):
+        popular = Entity(
+            id="a", name="A", vertical="suvs",
+            popularity=POPULARITY_THRESHOLD, true_quality=0.5,
+        )
+        niche = Entity(
+            id="b", name="B", vertical="suvs",
+            popularity=POPULARITY_THRESHOLD - 0.01, true_quality=0.5,
+        )
+        assert popular.is_popular and not niche.is_popular
+
+    def test_surface_forms(self):
+        entity = Entity(
+            id="a", name="Apple", vertical="smartphones",
+            popularity=0.9, true_quality=0.9, aliases=("iPhone",),
+        )
+        assert entity.surface_forms() == ("Apple", "iPhone")
+
+
+class TestEntityCatalog:
+    def test_duplicate_id_rejected(self):
+        catalog = EntityCatalog()
+        entity = Entity(id="a", name="A", vertical="suvs", popularity=0.5, true_quality=0.5)
+        catalog.add(entity)
+        with pytest.raises(ValueError, match="already"):
+            catalog.add(entity)
+
+    def test_unknown_lookup(self):
+        with pytest.raises(KeyError, match="unknown entity"):
+            EntityCatalog().get("nope")
+
+
+class TestDefaultCatalog:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return build_default_catalog()
+
+    def test_every_consumer_topic_populated(self, catalog):
+        for topic in CONSUMER_TOPICS:
+            assert len(catalog.in_vertical(topic)) >= 8, topic
+
+    def test_every_consumer_topic_has_popular_core_and_niche_tail(self, catalog):
+        for topic in CONSUMER_TOPICS:
+            assert len(catalog.popular(topic)) >= 4, topic
+            assert len(catalog.niche(topic)) >= 1, topic
+
+    def test_niche_verticals_are_all_niche(self, catalog):
+        for vertical_id in NICHE_VERTICALS:
+            entities = catalog.in_vertical(vertical_id)
+            assert len(entities) >= 12, vertical_id
+            assert all(not e.is_popular for e in entities), vertical_id
+
+    def test_table3_entities_exist_with_coverage_gradient(self, catalog):
+        gradient = ["suvs:toyota", "suvs:honda", "suvs:kia", "suvs:cadillac", "suvs:infiniti"]
+        pops = [catalog.get(e).popularity for e in gradient]
+        # Mainstream makes strictly more popular than peripheral ones.
+        assert min(pops[:3]) > max(pops[3:])
+
+    def test_ids_are_unique_and_well_formed(self, catalog):
+        for entity in catalog:
+            vertical, __, slug = entity.id.partition(":")
+            assert vertical == entity.vertical
+            assert slug and slug == slug.lower()
+
+    def test_brand_domains_mostly_assigned(self, catalog):
+        with_domain = sum(1 for e in catalog if e.brand_domain)
+        assert with_domain / len(catalog) > 0.95
+
+    def test_brand_domains_are_registrable(self, catalog):
+        # A brand "domain" must be an eTLD+1, not a subdomain — otherwise
+        # citation normalization and the domain registry disagree about
+        # the same site.
+        from repro.webgraph.urls import registrable_domain
+
+        for entity in catalog:
+            if entity.brand_domain:
+                assert (
+                    registrable_domain(f"https://{entity.brand_domain}/x")
+                    == entity.brand_domain
+                ), entity.id

@@ -1,0 +1,143 @@
+"""Tests for the query generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entities.catalog import build_default_catalog
+from repro.entities.intents import Intent
+from repro.entities.queries import (
+    PopularityClass,
+    Query,
+    QueryKind,
+    comparison_queries,
+    intent_queries,
+    ranking_queries,
+)
+from repro.entities.verticals import CONSUMER_TOPICS, NICHE_VERTICALS
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_default_catalog()
+
+
+class TestQueryModel:
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError):
+            Query(id="q", text="  ", kind=QueryKind.RANKING, vertical="suvs")
+
+    def test_bad_top_k_rejected(self):
+        with pytest.raises(ValueError):
+            Query(id="q", text="x", kind=QueryKind.RANKING, vertical="suvs", top_k=0)
+
+    def test_unknown_vertical_rejected(self):
+        with pytest.raises(KeyError):
+            Query(id="q", text="x", kind=QueryKind.RANKING, vertical="nope")
+
+
+class TestRankingQueries:
+    def test_count_and_vertical_spread(self, catalog):
+        queries = ranking_queries(catalog, count=100, seed=0)
+        assert len(queries) == 100
+        verticals = {q.vertical for q in queries}
+        assert verticals == set(CONSUMER_TOPICS)
+
+    def test_deterministic(self, catalog):
+        a = ranking_queries(catalog, count=30, seed=5)
+        b = ranking_queries(catalog, count=30, seed=5)
+        assert [q.text for q in a] == [q.text for q in b]
+
+    def test_seed_changes_texts(self, catalog):
+        a = ranking_queries(catalog, count=30, seed=5)
+        b = ranking_queries(catalog, count=30, seed=6)
+        assert [q.text for q in a] != [q.text for q in b]
+
+    def test_ids_unique(self, catalog):
+        queries = ranking_queries(catalog, count=50, seed=0)
+        assert len({q.id for q in queries}) == 50
+
+    def test_candidates_come_from_vertical(self, catalog):
+        for query in ranking_queries(catalog, count=20, seed=1):
+            for entity_id in query.entities:
+                assert catalog.get(entity_id).vertical == query.vertical
+
+    def test_popular_pool_by_default(self, catalog):
+        for query in ranking_queries(catalog, count=20, seed=1):
+            assert all(catalog.get(e).is_popular for e in query.entities)
+
+    def test_niche_pool_on_request(self, catalog):
+        queries = ranking_queries(
+            catalog, verticals=NICHE_VERTICALS, count=9, seed=1, niche_entities=True
+        )
+        for query in queries:
+            assert query.popularity_class is PopularityClass.NICHE
+            assert all(not catalog.get(e).is_popular for e in query.entities)
+
+    def test_texts_look_like_ranking_queries(self, catalog):
+        for query in ranking_queries(catalog, count=20, seed=2):
+            assert query.text.startswith("Top ")
+
+    def test_invalid_args(self, catalog):
+        with pytest.raises(ValueError):
+            ranking_queries(catalog, count=0)
+        with pytest.raises(ValueError):
+            ranking_queries(catalog, verticals=(), count=5)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=0, max_value=100))
+    def test_any_count_seed_combination_is_valid(self, count, seed):
+        catalog = build_default_catalog()
+        queries = ranking_queries(catalog, count=count, seed=seed)
+        assert len(queries) == count
+        for query in queries:
+            assert query.top_k >= 1
+            assert query.kind is QueryKind.RANKING
+
+
+class TestComparisonQueries:
+    def test_split(self, catalog):
+        queries = comparison_queries(catalog, n_popular=20, n_niche=20, seed=0)
+        popular = [q for q in queries if q.popularity_class is PopularityClass.POPULAR]
+        niche = [q for q in queries if q.popularity_class is PopularityClass.NICHE]
+        assert len(popular) == 20 and len(niche) == 20
+
+    def test_pairs_are_distinct_same_vertical(self, catalog):
+        for query in comparison_queries(catalog, n_popular=15, n_niche=15, seed=1):
+            a, b = query.entities
+            assert a != b
+            assert catalog.get(a).vertical == catalog.get(b).vertical == query.vertical
+
+    def test_popular_pairs_are_popular(self, catalog):
+        for query in comparison_queries(catalog, n_popular=15, n_niche=0, seed=1):
+            assert all(catalog.get(e).is_popular for e in query.entities)
+
+    def test_niche_pairs_are_niche(self, catalog):
+        for query in comparison_queries(catalog, n_popular=0, n_niche=15, seed=1):
+            assert all(not catalog.get(e).is_popular for e in query.entities)
+
+    def test_entity_names_appear_in_text(self, catalog):
+        for query in comparison_queries(catalog, n_popular=10, n_niche=10, seed=2):
+            a, b = (catalog.get(e).name for e in query.entities)
+            assert a in query.text and b in query.text
+
+
+class TestIntentQueries:
+    def test_even_intent_split(self, catalog):
+        queries = intent_queries(catalog, count=300, seed=0)
+        counts = {intent: 0 for intent in Intent}
+        for query in queries:
+            counts[query.intent] += 1
+        assert set(counts.values()) == {100}
+
+    def test_electronics_only_by_default(self, catalog):
+        for query in intent_queries(catalog, count=60, seed=0):
+            assert query.vertical in ("smartphones", "laptops", "smartwatches")
+
+    def test_too_small_count_rejected(self, catalog):
+        with pytest.raises(ValueError):
+            intent_queries(catalog, count=2)
+
+    def test_texts_are_filled_templates(self, catalog):
+        for query in intent_queries(catalog, count=30, seed=3):
+            assert "{" not in query.text and "}" not in query.text

@@ -1,0 +1,100 @@
+"""Tests for the typology classifier and answer synthesis."""
+
+import pytest
+
+from repro.entities import build_default_catalog
+from repro.llm.classify import SourceTypeClassifier
+from repro.llm.generation import synthesize_answer
+from repro.webgraph.corpus import CorpusConfig, CorpusGenerator
+from repro.webgraph.domains import SourceType, build_default_registry
+
+
+@pytest.fixture(scope="module")
+def world():
+    catalog = build_default_catalog()
+    registry = build_default_registry()
+    corpus = CorpusGenerator(registry, catalog, CorpusConfig(seed=5)).generate()
+    return catalog, registry, corpus
+
+
+class TestSourceTypeClassifier:
+    def test_social_platforms(self):
+        clf = SourceTypeClassifier()
+        for domain in ("reddit.com", "youtube.com", "quora.com", "tripadvisor.com"):
+            assert clf.classify_domain(domain) is SourceType.SOCIAL
+
+    def test_retail_platforms(self):
+        clf = SourceTypeClassifier()
+        for domain in ("bestbuy.com", "amazon.com", "cars.com"):
+            assert clf.classify_domain(domain) is SourceType.BRAND
+
+    def test_editorial_defaults_to_earned(self):
+        clf = SourceTypeClassifier()
+        assert clf.classify_domain("techradar.com") is SourceType.EARNED
+        assert clf.classify_domain("unknown-blog.net") is SourceType.EARNED
+
+    def test_forum_name_cue(self):
+        clf = SourceTypeClassifier()
+        assert clf.classify_domain("avforums.com") is SourceType.SOCIAL
+
+    def test_accuracy_against_registry_ground_truth(self, world):
+        catalog, registry, corpus = world
+        clf = SourceTypeClassifier()
+        correct = total = 0
+        per_type_total: dict[SourceType, int] = {t: 0 for t in SourceType}
+        per_type_correct: dict[SourceType, int] = {t: 0 for t in SourceType}
+        for page in corpus.pages:
+            truth = registry.get(page.domain).source_type
+            guess = clf.classify(page.domain, page)
+            total += 1
+            per_type_total[truth] += 1
+            if guess is truth:
+                correct += 1
+                per_type_correct[truth] += 1
+        assert correct / total > 0.9
+        # No class should be systematically lost.
+        for source_type in SourceType:
+            if per_type_total[source_type]:
+                recall = per_type_correct[source_type] / per_type_total[source_type]
+                assert recall > 0.75, (source_type, recall)
+
+
+class TestSynthesizeAnswer:
+    def test_ranking_answer_lists_entities(self, world):
+        catalog, __, corpus = world
+        sources = corpus.by_entity("suvs:toyota")[:3]
+        text = synthesize_answer(
+            "best suvs",
+            sources,
+            catalog,
+            ranked_entities=["suvs:toyota", "suvs:honda"],
+        )
+        assert "1. Toyota" in text
+        assert "2. Honda" in text
+        assert "Sources:" in text
+        assert sources[0].url in text
+
+    def test_attributions_reference_supporting_sources(self, world):
+        catalog, __, corpus = world
+        sources = corpus.by_entity("suvs:toyota")[:2]
+        text = synthesize_answer(
+            "best suvs", sources, catalog, ranked_entities=["suvs:toyota"]
+        )
+        assert "[1]" in text
+
+    def test_no_sources_no_citation_block(self, world):
+        catalog, __, __ = world
+        text = synthesize_answer("best suvs", [], catalog, ranked_entities=["suvs:kia"])
+        assert "Sources:" not in text
+        assert "1. Kia" in text
+
+    def test_summary_answer_without_ranking(self, world):
+        catalog, __, corpus = world
+        sources = corpus.pages[:2]
+        text = synthesize_answer("how does 5g work", sources, catalog)
+        assert "Based on" in text
+
+    def test_invalid_max_listed(self, world):
+        catalog, __, __ = world
+        with pytest.raises(ValueError):
+            synthesize_answer("q", [], catalog, max_listed=0)

@@ -1,0 +1,205 @@
+"""Tests for the SimulatedLLM score model, ranking and pairwise judgment."""
+
+import pytest
+
+from repro.entities import build_default_catalog
+from repro.llm.context import ContextWindow, EvidenceSnippet
+from repro.llm.model import GroundingMode, LLMConfig, SimulatedLLM
+from repro.llm.pretraining import PretrainedKnowledge
+from repro.webgraph.corpus import CorpusConfig, CorpusGenerator
+from repro.webgraph.domains import build_default_registry
+
+
+@pytest.fixture(scope="module")
+def llm():
+    catalog = build_default_catalog()
+    registry = build_default_registry()
+    corpus = CorpusGenerator(registry, catalog, CorpusConfig(seed=5)).generate()
+    knowledge = PretrainedKnowledge(corpus, catalog, model_seed=1)
+    return SimulatedLLM(knowledge, LLMConfig(seed=1))
+
+
+SUVS = ["suvs:toyota", "suvs:honda", "suvs:kia", "suvs:chevrolet", "suvs:cadillac", "suvs:infiniti"]
+LAW = [
+    "family_law_toronto:hargrave_family_law",
+    "family_law_toronto:lakeside_law_group",
+    "family_law_toronto:bloor_street_legal",
+    "family_law_toronto:chen_and_osei_llp",
+]
+
+
+def make_context(stance_sets):
+    """Build a window from a list of {entity: stance} dicts."""
+    return ContextWindow(
+        EvidenceSnippet(
+            text=f"snippet {i}",
+            url=f"https://site{i}.com/page",
+            domain=f"site{i}.com",
+            entity_stance=stances,
+        )
+        for i, stances in enumerate(stance_sets)
+    )
+
+
+class TestLLMConfig:
+    def test_negative_param_rejected(self):
+        with pytest.raises(ValueError):
+            LLMConfig(pair_noise=-0.1)
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            LLMConfig(prior_weight=0, context_weight=0)
+
+
+class TestRanking:
+    def test_deterministic_for_identical_calls(self, llm):
+        ctx = make_context([{e: 0.2} for e in SUVS])
+        a = llm.rank_entities("best suvs", SUVS, ctx)
+        b = llm.rank_entities("best suvs", SUVS, ctx)
+        assert a.ranking == b.ranking
+        assert a.scores == b.scores
+
+    def test_reordering_context_can_change_scores(self, llm):
+        ctx = make_context([{e: 0.2} for e in LAW])
+        shuffled = ctx.reordered([3, 1, 0, 2])
+        a = llm.rank_entities("top law firms", LAW, ctx)
+        b = llm.rank_entities("top law firms", LAW, shuffled)
+        assert a.scores != b.scores
+
+    def test_empty_candidates_raise(self, llm):
+        with pytest.raises(ValueError):
+            llm.rank_entities("q", [], make_context([]))
+
+    def test_duplicate_candidates_raise(self, llm):
+        with pytest.raises(ValueError):
+            llm.rank_entities("q", ["suvs:toyota", "suvs:toyota"], make_context([]))
+
+    def test_top_k_truncates(self, llm):
+        ctx = make_context([{e: 0.5} for e in SUVS])
+        answer = llm.rank_entities("best suvs", SUVS, ctx, top_k=3)
+        assert len(answer.ranking) == 3
+
+    def test_invalid_top_k(self, llm):
+        with pytest.raises(ValueError):
+            llm.rank_entities("q", SUVS, make_context([]), top_k=0)
+
+    def test_rank_of(self, llm):
+        ctx = make_context([{e: 0.5} for e in SUVS])
+        answer = llm.rank_entities("best suvs", SUVS, ctx)
+        first = answer.ranking[0]
+        assert answer.rank_of(first) == 1
+
+    def test_popular_ranking_tracks_prior_not_context(self, llm):
+        # Strongly negative evidence about Toyota barely moves it for a
+        # popular query: the prior dominates.  Averaged over phrasings so
+        # per-call generation noise cancels.
+        def mean_rank(stance):
+            ranks = []
+            for i in range(12):
+                ctx = make_context(
+                    [{e: (stance if e == "suvs:toyota" else 0.0)} for e in SUVS]
+                )
+                answer = llm.rank_entities(f"best suvs 2025 v{i}", SUVS, ctx)
+                ranks.append(answer.rank_of("suvs:toyota"))
+            return sum(ranks) / len(ranks)
+
+        assert mean_rank(-0.9) - mean_rank(0.0) <= 2.0
+
+    def test_niche_ranking_tracks_context(self, llm):
+        # The same manipulation on a niche entity swings its rank.
+        target = LAW[0]
+        promoted = make_context([{target: 0.95}] + [{e: -0.6} for e in LAW[1:]])
+        demoted = make_context([{target: -0.95}] + [{e: 0.6} for e in LAW[1:]])
+        up = llm.rank_entities("top toronto family law firms", LAW, promoted)
+        down = llm.rank_entities("top toronto family law firms", LAW, demoted)
+        assert up.rank_of(target) < down.rank_of(target)
+        assert up.rank_of(target) == 1
+
+    def test_strict_mode_ignores_prior(self, llm):
+        # Evidence only supports the two lowest-prior entities; in strict
+        # mode they must outrank everyone unsupported.
+        supported = ["suvs:cadillac", "suvs:infiniti"]
+        ctx = make_context([{e: 0.6} for e in supported])
+        answer = llm.rank_entities("best suvs", SUVS, ctx, mode=GroundingMode.STRICT)
+        assert set(answer.ranking[:2]) == set(supported)
+
+    def test_citations_only_for_supported(self, llm):
+        ctx = make_context([{"suvs:toyota": 0.5}, {"suvs:honda": 0.4}])
+        answer = llm.rank_entities("best suvs", SUVS, ctx)
+        assert answer.citations["suvs:toyota"]
+        assert answer.citations["suvs:honda"]
+        uncited = set(answer.uncited_entities())
+        assert uncited == set(SUVS) - {"suvs:toyota", "suvs:honda"}
+
+    def test_citation_urls_come_from_context(self, llm):
+        ctx = make_context([{"suvs:toyota": 0.5}])
+        answer = llm.rank_entities("best suvs", SUVS, ctx)
+        assert answer.citations["suvs:toyota"] == ("https://site0.com/page",)
+
+
+class TestPairwise:
+    def test_symmetric_in_argument_order(self, llm):
+        ctx = make_context([{e: 0.3} for e in SUVS])
+        a = llm.pairwise_judge("best suvs", "suvs:toyota", "suvs:kia", ctx)
+        b = llm.pairwise_judge("best suvs", "suvs:kia", "suvs:toyota", ctx)
+        assert a == b
+
+    def test_same_entity_raises(self, llm):
+        with pytest.raises(ValueError):
+            llm.pairwise_judge("q", "suvs:kia", "suvs:kia", make_context([]))
+
+    def test_clear_popular_gap_is_consistent(self, llm):
+        # Toyota (sharp, high prior) vs Infiniti (vague, lower prior): the
+        # prior gap must dominate in the clear majority of judgments.
+        wins = 0
+        for i in range(30):
+            ctx = make_context([{e: 0.2} for e in SUVS])
+            winner = llm.pairwise_judge(
+                f"best suvs v{i}", "suvs:toyota", "suvs:infiniti", ctx
+            )
+            wins += winner == "suvs:toyota"
+        assert wins >= 20
+
+    def test_strict_mode_follows_evidence(self, llm):
+        ctx = make_context(
+            [{"suvs:infiniti": 0.9}, {"suvs:toyota": -0.8}]
+        )
+        winner = llm.pairwise_judge(
+            "best suvs", "suvs:toyota", "suvs:infiniti", ctx, mode=GroundingMode.STRICT
+        )
+        assert winner == "suvs:infiniti"
+
+    def test_niche_judgments_fluctuate_across_queries(self, llm):
+        # Vague priors re-realize per call: across many query phrasings the
+        # same niche pair should not always resolve the same way.
+        a, b = LAW[0], LAW[2]
+        ctx = make_context([])
+        winners = {
+            llm.pairwise_judge(f"top family law firms variant {i}", a, b, ctx)
+            for i in range(40)
+        }
+        assert winners == {a, b}
+
+    def test_popular_judgments_lean_strongly_toward_the_better_make(self, llm):
+        # Toyota vs Jeep: both popular (sharp priors), clear quality gap.
+        # Generation noise re-rolls per phrasing, but the gap must win a
+        # strong majority of judgments.
+        ctx = make_context([])
+        wins = sum(
+            llm.pairwise_judge(f"best suvs variant {i}", "suvs:toyota", "suvs:jeep", ctx)
+            == "suvs:toyota"
+            for i in range(40)
+        )
+        assert wins >= 28
+
+    def test_popular_vs_vague_flips_occasionally_but_leans_right(self, llm):
+        # Toyota vs Infiniti mixes a sharp and a vague prior: the vague
+        # side re-realizes per call, so flips happen, but the majority
+        # must still follow the sharper, higher prior.
+        ctx = make_context([])
+        wins = sum(
+            llm.pairwise_judge(f"best suvs variant {i}", "suvs:toyota", "suvs:infiniti", ctx)
+            == "suvs:toyota"
+            for i in range(60)
+        )
+        assert wins > 33

@@ -1,0 +1,109 @@
+"""Property-based tests on the SimulatedLLM's core invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entities import build_default_catalog
+from repro.llm.context import ContextWindow, EvidenceSnippet
+from repro.llm.model import GroundingMode, LLMConfig, SimulatedLLM
+from repro.llm.pretraining import PretrainedKnowledge
+from repro.webgraph.corpus import CorpusConfig, CorpusGenerator
+from repro.webgraph.domains import build_default_registry
+
+SUVS = [
+    "suvs:toyota", "suvs:honda", "suvs:kia", "suvs:hyundai",
+    "suvs:chevrolet", "suvs:ford", "suvs:mazda", "suvs:subaru",
+]
+
+
+@pytest.fixture(scope="module")
+def llm():
+    catalog = build_default_catalog()
+    registry = build_default_registry()
+    corpus = CorpusGenerator(registry, catalog, CorpusConfig(seed=3)).generate()
+    knowledge = PretrainedKnowledge(corpus, catalog, model_seed=2)
+    return SimulatedLLM(knowledge, LLMConfig(seed=2))
+
+
+# Strategy: a context over the SUV entities with random stances/positions.
+stance_maps = st.dictionaries(
+    st.sampled_from(SUVS),
+    st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+    max_size=4,
+)
+contexts = st.lists(stance_maps, max_size=8).map(
+    lambda maps: ContextWindow(
+        EvidenceSnippet(
+            text=f"snippet {i}",
+            url=f"https://s{i}.com/p",
+            domain=f"s{i}.com",
+            entity_stance=stances,
+        )
+        for i, stances in enumerate(maps)
+    )
+)
+
+
+class TestRankingProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(contexts, st.sampled_from(list(GroundingMode)))
+    def test_ranking_is_a_permutation_of_candidates(self, llm, context, mode):
+        answer = llm.rank_entities("q", SUVS, context, mode=mode)
+        assert sorted(answer.ranking) == sorted(SUVS)
+
+    @settings(max_examples=30, deadline=None)
+    @given(contexts, st.sampled_from(list(GroundingMode)))
+    def test_ranking_is_deterministic(self, llm, context, mode):
+        a = llm.rank_entities("q", SUVS, context, mode=mode)
+        b = llm.rank_entities("q", SUVS, context, mode=mode)
+        assert a.ranking == b.ranking
+
+    @settings(max_examples=30, deadline=None)
+    @given(contexts)
+    def test_ranking_order_matches_scores(self, llm, context):
+        answer = llm.rank_entities("q", SUVS, context)
+        scores = [answer.scores[e] for e in answer.ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    @settings(max_examples=30, deadline=None)
+    @given(contexts, st.integers(min_value=1, max_value=8))
+    def test_top_k_is_a_prefix_of_the_full_ranking(self, llm, context, k):
+        full = llm.rank_entities("q", SUVS, context)
+        truncated = llm.rank_entities("q", SUVS, context, top_k=k)
+        assert truncated.ranking == full.ranking[:k]
+
+    @settings(max_examples=30, deadline=None)
+    @given(contexts)
+    def test_citations_point_to_supporting_snippets(self, llm, context):
+        answer = llm.rank_entities("q", SUVS, context)
+        for entity, urls in answer.citations.items():
+            supporting = {s.url for __, s in context.support(entity)}
+            for url in urls:
+                assert url in supporting
+            # Supported entities must be cited, unsupported must not.
+            assert bool(urls) == bool(supporting)
+
+    @settings(max_examples=25, deadline=None)
+    @given(contexts)
+    def test_query_text_changes_rerolls_but_stays_valid(self, llm, context):
+        a = llm.rank_entities("query one", SUVS, context)
+        b = llm.rank_entities("query two", SUVS, context)
+        assert sorted(a.ranking) == sorted(b.ranking)
+
+
+class TestPairwiseProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        contexts,
+        st.sampled_from(SUVS),
+        st.sampled_from(SUVS),
+        st.sampled_from(list(GroundingMode)),
+    )
+    def test_winner_is_one_of_the_pair_and_symmetric(self, llm, context, a, b, mode):
+        if a == b:
+            return
+        winner_ab = llm.pairwise_judge("q", a, b, context, mode=mode)
+        winner_ba = llm.pairwise_judge("q", b, a, context, mode=mode)
+        assert winner_ab in (a, b)
+        assert winner_ab == winner_ba

@@ -1,0 +1,108 @@
+"""Tests for the pre-training knowledge model."""
+
+import random
+
+import pytest
+
+from repro.entities import build_default_catalog
+from repro.llm.pretraining import PretrainedKnowledge
+from repro.webgraph.corpus import CorpusConfig, CorpusGenerator
+from repro.webgraph.domains import build_default_registry
+
+
+@pytest.fixture(scope="module")
+def world():
+    catalog = build_default_catalog()
+    registry = build_default_registry()
+    corpus = CorpusGenerator(registry, catalog, CorpusConfig(seed=5)).generate()
+    return catalog, corpus
+
+
+@pytest.fixture(scope="module")
+def knowledge(world):
+    catalog, corpus = world
+    return PretrainedKnowledge(corpus, catalog, model_seed=1)
+
+
+class TestPretrainedKnowledge:
+    def test_every_entity_has_a_belief(self, world, knowledge):
+        catalog, __ = world
+        for entity in catalog:
+            assert entity.id in knowledge
+            belief = knowledge.belief(entity.id)
+            assert 0.0 <= belief.mean <= 1.0
+            assert 0.0 <= belief.confidence <= 1.0
+
+    def test_unknown_entity_raises(self, knowledge):
+        with pytest.raises(KeyError):
+            knowledge.belief("nope:nothing")
+
+    def test_popular_entities_more_confident(self, knowledge):
+        assert knowledge.confidence("suvs:toyota") > knowledge.confidence("suvs:infiniti")
+        assert (
+            knowledge.confidence("smartphones:apple")
+            > knowledge.confidence("family_law_toronto:hargrave_family_law")
+        )
+
+    def test_niche_confidence_is_low(self, world, knowledge):
+        catalog, __ = world
+        for entity in catalog.in_vertical("family_law_toronto"):
+            assert knowledge.confidence(entity.id) < 0.35
+
+    def test_popular_confidence_is_high(self, knowledge):
+        for entity_id in ("suvs:toyota", "smartphones:apple", "airlines:delta"):
+            assert knowledge.confidence(entity_id) > 0.55
+
+    def test_prior_mean_tracks_quality_for_popular(self, world, knowledge):
+        catalog, __ = world
+        errors_popular, errors_niche = [], []
+        for entity in catalog:
+            error = abs(knowledge.prior_mean(entity.id) - entity.true_quality)
+            (errors_popular if entity.is_popular else errors_niche).append(error)
+        mean_pop = sum(errors_popular) / len(errors_popular)
+        mean_niche = sum(errors_niche) / len(errors_niche)
+        assert mean_pop < mean_niche
+
+    def test_priors_frozen_across_instances(self, world):
+        catalog, corpus = world
+        a = PretrainedKnowledge(corpus, catalog, model_seed=1)
+        b = PretrainedKnowledge(corpus, catalog, model_seed=1)
+        for entity in catalog:
+            assert a.prior_mean(entity.id) == b.prior_mean(entity.id)
+
+    def test_model_seed_changes_priors(self, world):
+        catalog, corpus = world
+        a = PretrainedKnowledge(corpus, catalog, model_seed=1)
+        b = PretrainedKnowledge(corpus, catalog, model_seed=2)
+        diffs = [
+            abs(a.prior_mean(e.id) - b.prior_mean(e.id)) for e in catalog
+        ]
+        assert max(diffs) > 0
+
+    def test_sample_prior_sharp_vs_vague(self, knowledge):
+        rng = random.Random(0)
+        sharp = [knowledge.sample_prior("suvs:toyota", rng) for _ in range(200)]
+        vague = [
+            knowledge.sample_prior("family_law_toronto:hargrave_family_law", rng)
+            for _ in range(200)
+        ]
+        def spread(xs):
+            return max(xs) - min(xs)
+        assert spread(sharp) < spread(vague)
+
+    def test_sample_prior_in_bounds(self, knowledge):
+        rng = random.Random(3)
+        for _ in range(100):
+            value = knowledge.sample_prior("suvs:infiniti", rng)
+            assert 0.0 <= value <= 1.0
+
+    def test_parameter_validation(self, world):
+        catalog, corpus = world
+        with pytest.raises(ValueError):
+            PretrainedKnowledge(corpus, catalog, exposure_half_saturation=0)
+        with pytest.raises(ValueError):
+            PretrainedKnowledge(corpus, catalog, base_sigma=-0.1)
+
+    def test_known_entities_matches_catalog(self, world, knowledge):
+        catalog, __ = world
+        assert set(knowledge.known_entities()) == {e.id for e in catalog}

@@ -1,0 +1,91 @@
+"""Tests for PageRank, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.search.pagerank import pagerank
+from repro.webgraph.linkgraph import LinkGraph
+
+
+def build_graph(edges):
+    graph = LinkGraph()
+    for source, target, weight in edges:
+        graph.add_edge(source, target, weight)
+    return graph
+
+
+class TestPagerank:
+    def test_empty_graph(self):
+        assert pagerank(LinkGraph()) == {}
+
+    def test_single_node(self):
+        graph = LinkGraph()
+        graph.add_node("a.com")
+        assert pagerank(graph) == {"a.com": pytest.approx(1.0)}
+
+    def test_scores_sum_to_one(self):
+        graph = build_graph(
+            [("a.com", "b.com", 1.0), ("b.com", "c.com", 1.0), ("c.com", "a.com", 1.0)]
+        )
+        scores = pagerank(graph)
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+    def test_symmetric_cycle_is_uniform(self):
+        graph = build_graph(
+            [("a.com", "b.com", 1.0), ("b.com", "c.com", 1.0), ("c.com", "a.com", 1.0)]
+        )
+        scores = pagerank(graph)
+        assert scores["a.com"] == pytest.approx(1 / 3, abs=1e-8)
+
+    def test_hub_receives_more_rank(self):
+        # Everyone links to hub.com; it must outrank the spokes.
+        edges = [(f"s{i}.com", "hub.com", 1.0) for i in range(5)]
+        scores = pagerank(build_graph(edges))
+        assert scores["hub.com"] > max(scores[f"s{i}.com"] for i in range(5))
+
+    def test_dangling_nodes_handled(self):
+        # b.com has no out-links; rank must still sum to 1.
+        graph = build_graph([("a.com", "b.com", 1.0)])
+        scores = pagerank(graph)
+        assert sum(scores.values()) == pytest.approx(1.0)
+        assert scores["b.com"] > scores["a.com"]
+
+    def test_edge_weights_matter(self):
+        graph = build_graph(
+            [("src.com", "heavy.com", 9.0), ("src.com", "light.com", 1.0)]
+        )
+        scores = pagerank(graph)
+        assert scores["heavy.com"] > scores["light.com"]
+
+    def test_invalid_damping(self):
+        with pytest.raises(ValueError):
+            pagerank(LinkGraph(), damping=1.0)
+
+    def test_matches_networkx(self):
+        edges = [
+            ("a.com", "b.com", 1.0),
+            ("a.com", "c.com", 2.0),
+            ("b.com", "c.com", 1.0),
+            ("c.com", "a.com", 1.0),
+            ("d.com", "a.com", 3.0),
+            ("b.com", "d.com", 0.5),
+        ]
+        ours = pagerank(build_graph(edges), damping=0.85)
+
+        nxg = nx.DiGraph()
+        for s, t, w in edges:
+            nxg.add_edge(s, t, weight=w)
+        theirs = nx.pagerank(nxg, alpha=0.85, weight="weight", tol=1e-12)
+        for node in theirs:
+            assert ours[node] == pytest.approx(theirs[node], abs=1e-6)
+
+    def test_matches_networkx_with_dangling(self):
+        edges = [("a.com", "b.com", 1.0), ("c.com", "b.com", 1.0)]
+        graph = build_graph(edges)
+        ours = pagerank(graph)
+        nxg = nx.DiGraph()
+        for s, t, w in edges:
+            nxg.add_edge(s, t, weight=w)
+        theirs = nx.pagerank(nxg, alpha=0.85, weight="weight", tol=1e-12)
+        for node in theirs:
+            assert ours[node] == pytest.approx(theirs[node], abs=1e-6)

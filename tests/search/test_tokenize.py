@@ -1,0 +1,63 @@
+"""Tests for the text analyzer."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.search.tokenize import STOPWORDS, stem, tokenize
+
+
+class TestStem:
+    def test_plural(self):
+        assert stem("smartphones") == "smartphone"
+        assert stem("airlines") == "airline"
+
+    def test_ing(self):
+        assert stem("charging") == "charg"
+
+    def test_short_words_untouched(self):
+        assert stem("gps") == "gps"
+        assert stem("is") == "is"
+
+    def test_only_one_suffix_stripped(self):
+        # "rankings" -> "rank" via the combined "ings" suffix.
+        assert stem("rankings") == "rank"
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("Top 10 most reliable smartphones in 2025!") == [
+            "10", "most", "reliable", "smartphone", "2025",
+        ]
+
+    def test_stopwords_removed(self):
+        tokens = tokenize("the best of the best")
+        assert tokens == []
+
+    def test_punctuation_split(self):
+        assert tokenize("Wi-Fi 7: how it works") == ["wi", "fi", "work"]
+
+    def test_single_chars_dropped(self):
+        assert "a" not in tokenize("a b c data")
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("   !!! ") == []
+
+    def test_case_insensitive(self):
+        assert tokenize("APPLE") == tokenize("apple")
+
+    @given(st.text(max_size=100))
+    def test_never_raises_and_yields_clean_tokens(self, text):
+        tokens = tokenize(text)
+        for token in tokens:
+            assert token  # non-empty
+            assert token == token.lower()
+            assert token not in STOPWORDS or len(token) > 1
+
+    @given(st.text(max_size=60))
+    def test_idempotent_on_own_output(self, text):
+        tokens = tokenize(text)
+        retokenized = tokenize(" ".join(tokens))
+        # Stemming is not idempotent in general ("ies"->"i" cases aside),
+        # but token *count* can only shrink via stopword collisions.
+        assert len(retokenized) <= len(tokens)

@@ -1,0 +1,67 @@
+"""Tests for repro.stats.bootstrap."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.bootstrap import bootstrap_ci
+from repro.stats.summaries import mean, median
+
+
+class TestBootstrapCi:
+    def test_deterministic_given_seed(self):
+        sample = [1.0, 2.0, 3.0, 4.0, 5.0]
+        a = bootstrap_ci(sample, mean, seed=42)
+        b = bootstrap_ci(sample, mean, seed=42)
+        assert a == b
+
+    def test_different_seed_changes_interval(self):
+        sample = [1.0, 2.0, 3.0, 4.0, 5.0, 9.0, 12.0]
+        a = bootstrap_ci(sample, mean, seed=1)
+        b = bootstrap_ci(sample, mean, seed=2)
+        assert (a.low, a.high) != (b.low, b.high)
+
+    def test_constant_sample_gives_zero_width(self):
+        r = bootstrap_ci([3.0] * 20, mean, seed=0)
+        assert r.low == r.high == r.estimate == 3.0
+        assert r.width() == 0.0
+
+    def test_estimate_is_statistic_of_original_sample(self):
+        sample = [1.0, 5.0, 9.0]
+        r = bootstrap_ci(sample, median, seed=0)
+        assert r.estimate == 5.0
+
+    def test_contains(self):
+        r = bootstrap_ci([1.0, 2.0, 3.0], mean, seed=0)
+        assert r.contains(r.estimate)
+        assert not r.contains(r.high + 1.0)
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([], mean)
+
+    def test_bad_confidence_raises(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], mean, confidence=1.0)
+
+    def test_bad_resamples_raises(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], mean, resamples=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=2,
+            max_size=30,
+        ),
+        st.integers(min_value=0, max_value=10),
+    )
+    def test_interval_ordering_and_sample_bounds(self, sample, seed):
+        r = bootstrap_ci(sample, mean, resamples=100, seed=seed)
+        assert r.low <= r.high
+        # Bootstrap means cannot leave the sample's convex hull (modulo
+        # floating-point rounding in the summation).
+        span = max(abs(v) for v in sample) or 1.0
+        eps = 1e-12 * span
+        assert min(sample) - eps <= r.low and r.high <= max(sample) + eps

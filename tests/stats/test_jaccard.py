@@ -1,0 +1,97 @@
+"""Tests for repro.stats.jaccard."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.jaccard import (
+    jaccard,
+    mean_pairwise_jaccard,
+    overlap_coefficient,
+    unique_ratio,
+)
+
+item_sets = st.sets(st.integers(min_value=0, max_value=30), max_size=15)
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard({"a", "b", "c"}, {"b", "c", "d"}) == pytest.approx(2 / 4)
+
+    def test_both_empty_is_zero(self):
+        assert jaccard(set(), set()) == 0.0
+
+    def test_one_empty_is_zero(self):
+        assert jaccard({"a"}, set()) == 0.0
+
+    def test_accepts_iterables_with_duplicates(self):
+        assert jaccard(["a", "a", "b"], ["b", "b"]) == pytest.approx(1 / 2)
+
+    @given(item_sets, item_sets)
+    def test_bounds(self, a, b):
+        assert 0.0 <= jaccard(a, b) <= 1.0
+
+    @given(item_sets, item_sets)
+    def test_symmetry(self, a, b):
+        assert jaccard(a, b) == jaccard(b, a)
+
+    @given(item_sets)
+    def test_self_similarity(self, a):
+        expected = 1.0 if a else 0.0
+        assert jaccard(a, a) == expected
+
+    @given(item_sets, item_sets)
+    def test_jaccard_never_exceeds_overlap_coefficient(self, a, b):
+        assert jaccard(a, b) <= overlap_coefficient(a, b) + 1e-12
+
+
+class TestOverlapCoefficient:
+    def test_subset_is_one(self):
+        assert overlap_coefficient({"a"}, {"a", "b", "c"}) == 1.0
+
+    def test_empty_is_zero(self):
+        assert overlap_coefficient(set(), {"a"}) == 0.0
+
+
+class TestMeanPairwiseJaccard:
+    def test_single_set_is_zero(self):
+        assert mean_pairwise_jaccard([{"a"}]) == 0.0
+
+    def test_two_sets(self):
+        assert mean_pairwise_jaccard([{"a", "b"}, {"b", "c"}]) == pytest.approx(1 / 3)
+
+    def test_three_identical_sets(self):
+        assert mean_pairwise_jaccard([{"x"}, {"x"}, {"x"}]) == 1.0
+
+    @given(st.lists(item_sets, min_size=2, max_size=6))
+    def test_bounds(self, sets):
+        assert 0.0 <= mean_pairwise_jaccard(sets) <= 1.0
+
+
+class TestUniqueRatio:
+    def test_all_unique(self):
+        assert unique_ratio([{"a"}, {"b"}, {"c"}]) == 1.0
+
+    def test_all_shared(self):
+        assert unique_ratio([{"a"}, {"a"}]) == 0.0
+
+    def test_mixed(self):
+        # "a" appears in two sets, "b" and "c" in one each: 2 of 3 unique.
+        assert unique_ratio([{"a", "b"}, {"a", "c"}]) == pytest.approx(2 / 3)
+
+    def test_empty_input(self):
+        assert unique_ratio([]) == 0.0
+        assert unique_ratio([set(), set()]) == 0.0
+
+    def test_duplicates_within_one_set_do_not_count_twice(self):
+        assert unique_ratio([["a", "a"], ["b"]]) == 1.0
+
+    @given(st.lists(item_sets, max_size=6))
+    def test_bounds(self, sets):
+        assert 0.0 <= unique_ratio(sets) <= 1.0

@@ -1,0 +1,106 @@
+"""Tests for repro.stats.kendall, cross-checked against scipy."""
+
+import math
+
+import pytest
+import scipy.stats
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.kendall import kendall_tau, kendall_tau_rankings
+
+
+class TestKendallTau:
+    def test_perfect_agreement(self):
+        assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert kendall_tau([1, 2, 3, 4], [40, 30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_single_swap(self):
+        # One discordant pair out of six: tau = (5 - 1) / 6.
+        assert kendall_tau([1, 2, 3, 4], [2, 1, 3, 4]) == pytest.approx(4 / 6)
+
+    def test_constant_variable_returns_zero(self):
+        assert kendall_tau([1, 1, 1], [1, 2, 3]) == 0.0
+        assert kendall_tau([1, 2, 3], [5, 5, 5]) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="length"):
+            kendall_tau([1, 2], [1, 2, 3])
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError, match="at least two"):
+            kendall_tau([1], [1])
+
+    def test_ties_match_scipy_tau_b(self):
+        xs = [1, 1, 2, 3, 3, 4]
+        ys = [2, 1, 1, 3, 4, 4]
+        expected = scipy.stats.kendalltau(xs, ys).statistic
+        assert kendall_tau(xs, ys) == pytest.approx(expected)
+
+    def test_symmetry(self):
+        xs = [3, 1, 4, 1, 5, 9, 2, 6]
+        ys = [2, 7, 1, 8, 2, 8, 1, 8]
+        assert kendall_tau(xs, ys) == pytest.approx(kendall_tau(ys, xs))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-50, max_value=50),
+                st.integers(min_value=-50, max_value=50),
+            ),
+            min_size=2,
+            max_size=60,
+        )
+    )
+    def test_matches_scipy_on_random_integer_pairs(self, pairs):
+        xs = [p[0] for p in pairs]
+        ys = [p[1] for p in pairs]
+        ours = kendall_tau(xs, ys)
+        theirs = scipy.stats.kendalltau(xs, ys).statistic
+        if math.isnan(theirs):
+            assert ours == 0.0
+        else:
+            assert ours == pytest.approx(theirs, abs=1e-12)
+
+    @given(st.permutations(list(range(8))))
+    def test_bounds_on_permutations(self, perm):
+        tau = kendall_tau(list(range(8)), list(perm))
+        assert -1.0 <= tau <= 1.0
+
+    @given(st.permutations(list(range(10))))
+    def test_self_correlation_is_one(self, perm):
+        assert kendall_tau(list(perm), list(perm)) == pytest.approx(1.0)
+
+
+class TestKendallTauRankings:
+    def test_identical_rankings(self):
+        ranking = ["a", "b", "c", "d"]
+        assert kendall_tau_rankings(ranking, ranking) == pytest.approx(1.0)
+
+    def test_reversed_rankings(self):
+        a = ["a", "b", "c", "d"]
+        assert kendall_tau_rankings(a, a[::-1]) == pytest.approx(-1.0)
+
+    def test_item_set_mismatch_raises(self):
+        with pytest.raises(ValueError, match="identical item sets"):
+            kendall_tau_rankings(["a", "b"], ["a", "c"])
+
+    def test_duplicate_items_raise(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            kendall_tau_rankings(["a", "b"], ["a", "a"])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="number of items"):
+            kendall_tau_rankings(["a", "b", "c"], ["a", "b"])
+
+    @given(st.permutations(list("abcdefg")))
+    def test_matches_scipy_on_permuted_rankings(self, perm):
+        base = list("abcdefg")
+        ours = kendall_tau_rankings(base, list(perm))
+        pos = {item: i for i, item in enumerate(perm)}
+        theirs = scipy.stats.kendalltau(
+            list(range(len(base))), [pos[item] for item in base]
+        ).statistic
+        assert ours == pytest.approx(theirs, abs=1e-12)

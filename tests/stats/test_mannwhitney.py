@@ -1,0 +1,88 @@
+"""Tests for the Mann-Whitney U test, cross-checked against scipy."""
+
+import pytest
+import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.mannwhitney import mann_whitney_u, rank_with_ties
+
+
+class TestRankWithTies:
+    def test_no_ties(self):
+        assert rank_with_ties([30, 10, 20]) == [3.0, 1.0, 2.0]
+
+    def test_ties_get_midranks(self):
+        assert rank_with_ties([10, 10, 20]) == [1.5, 1.5, 3.0]
+
+    def test_all_tied(self):
+        assert rank_with_ties([5, 5, 5, 5]) == [2.5] * 4
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=40))
+    def test_rank_sum_invariant(self, values):
+        ranks = rank_with_ties(values)
+        n = len(values)
+        assert sum(ranks) == pytest.approx(n * (n + 1) / 2)
+
+
+class TestMannWhitneyU:
+    def test_clearly_shifted_samples_are_significant(self):
+        young = [10, 12, 15, 20, 22, 30, 31, 35, 40, 41]
+        old = [100, 110, 120, 130, 140, 150, 160, 170, 180, 190]
+        result = mann_whitney_u(young, old)
+        assert result.significant()
+        assert result.p_value < 0.001
+
+    def test_identical_distributions_are_not_significant(self):
+        a = list(range(0, 100, 5))
+        b = list(range(1, 101, 5))
+        result = mann_whitney_u(a, b)
+        assert not result.significant()
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([], [1.0])
+
+    def test_degenerate_samples_rejected(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            mann_whitney_u([5.0, 5.0], [5.0, 5.0])
+
+    def test_symmetry_of_p_value(self):
+        a = [1, 3, 5, 7, 9, 11, 13, 15]
+        b = [2, 4, 6, 8, 10, 20, 30, 40]
+        assert mann_whitney_u(a, b).p_value == pytest.approx(
+            mann_whitney_u(b, a).p_value
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=300), min_size=8, max_size=60),
+        st.lists(st.integers(min_value=0, max_value=300), min_size=8, max_size=60),
+    )
+    def test_matches_scipy_normal_approximation(self, a, b):
+        if len(set(a) | set(b)) < 2:
+            return  # degenerate
+        ours = mann_whitney_u(a, b)
+        theirs = scipy.stats.mannwhitneyu(
+            a, b, alternative="two-sided", method="asymptotic"
+        )
+        assert ours.u_statistic == pytest.approx(theirs.statistic)
+        assert ours.p_value == pytest.approx(theirs.pvalue, abs=1e-9)
+
+    def test_figure4_style_comparison(self):
+        # AI-like ages vs Google-like ages from the study itself.
+        from repro.core import StudyConfig, World
+        from repro.core.config import WorkloadSizes
+        from repro.core.study import ComparativeStudy
+
+        sizes = WorkloadSizes(
+            ranking_queries=10, comparison_popular=2, comparison_niche=2,
+            intent_queries=6, freshness_queries_per_vertical=15,
+            perturbation_queries=2, perturbation_runs=2,
+            pairwise_queries=2, citation_queries=5,
+        )
+        study = ComparativeStudy(World.build(StudyConfig(seed=7, sizes=sizes)))
+        report = study.freshness().electronics
+        result = mann_whitney_u(report.ages["Claude"], report.ages["Google"])
+        assert result.significant()
+        assert result.z_score < 0  # Claude's ages stochastically smaller

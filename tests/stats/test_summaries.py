@@ -1,0 +1,115 @@
+"""Tests for repro.stats.summaries, cross-checked against numpy."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.summaries import histogram, mean, median, quantile, summarize
+
+floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+samples = st.lists(floats, min_size=1, max_size=100)
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestQuantile:
+    def test_median_of_even_sample_interpolates(self):
+        assert quantile([1, 2, 3, 4], 0.5) == 2.5
+
+    def test_endpoints(self):
+        data = [5, 1, 9, 3]
+        assert quantile(data, 0.0) == 1
+        assert quantile(data, 1.0) == 9
+
+    def test_singleton(self):
+        assert quantile([7.0], 0.3) == 7.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            quantile([1, 2], 1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    @given(samples, st.floats(min_value=0.0, max_value=1.0))
+    def test_matches_numpy_linear(self, data, q):
+        assert quantile(data, q) == pytest.approx(
+            float(np.quantile(data, q)), rel=1e-9, abs=1e-9
+        )
+
+    @given(samples)
+    def test_monotone_in_q(self, data):
+        qs = [0.0, 0.25, 0.5, 0.75, 1.0]
+        vals = [quantile(data, q) for q in qs]
+        assert vals == sorted(vals)
+
+
+class TestMedian:
+    @given(samples)
+    def test_matches_numpy(self, data):
+        assert median(data) == pytest.approx(float(np.median(data)), abs=1e-9)
+
+    @given(samples)
+    def test_bounded_by_extremes(self, data):
+        assert min(data) <= median(data) <= max(data)
+
+
+class TestHistogram:
+    def test_basic_binning(self):
+        counts = histogram([0, 1, 2, 3, 4, 5], [0, 2, 4, 6])
+        assert counts == [2, 2, 2]
+
+    def test_right_edge_closed(self):
+        assert histogram([6], [0, 3, 6]) == [0, 1]
+
+    def test_out_of_range_ignored(self):
+        assert histogram([-1, 10], [0, 5]) == [0]
+
+    def test_needs_two_edges(self):
+        with pytest.raises(ValueError):
+            histogram([1], [0])
+
+    def test_non_increasing_edges_raise(self):
+        with pytest.raises(ValueError):
+            histogram([1], [0, 0, 1])
+
+    @given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), max_size=50))
+    def test_total_count_matches_numpy(self, data):
+        edges = [0, 20, 40, 60, 80, 100]
+        ours = histogram(data, edges)
+        theirs, _ = np.histogram(data, bins=edges)
+        assert ours == list(theirs)
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s.count == 5
+        assert s.minimum == 1
+        assert s.maximum == 5
+        assert s.median == 3
+        assert s.mean == 3
+        assert s.iqr() == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(samples)
+    def test_ordering_invariants(self, data):
+        s = summarize(data)
+        assert s.minimum <= s.p25 <= s.median <= s.p75 <= s.p90 <= s.maximum
+        # The mean can leave the hull by a rounding ulp on constant data.
+        eps = 1e-12 * max(1.0, abs(s.maximum), abs(s.minimum))
+        assert s.minimum - eps <= s.mean <= s.maximum + eps

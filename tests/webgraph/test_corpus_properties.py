@@ -1,0 +1,76 @@
+"""Property-based tests on corpus-generation invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.entities import build_default_catalog
+from repro.webgraph.corpus import CorpusConfig, CorpusGenerator
+from repro.webgraph.domains import build_default_registry
+from repro.webgraph.urls import registrable_domain
+
+
+def build(seed: int, scale: float):
+    catalog = build_default_catalog()
+    registry = build_default_registry()
+    config = CorpusConfig(seed=seed, pages_per_volume_unit=scale)
+    return catalog, registry, CorpusGenerator(registry, catalog, config).generate()
+
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.floats(min_value=0.3, max_value=1.2),
+)
+def test_corpus_invariants_hold_for_any_seed_and_scale(seed, scale):
+    catalog, registry, corpus = build(seed, scale)
+    study_date = corpus.clock.today
+
+    doc_ids = [page.doc_id for page in corpus.pages]
+    assert len(doc_ids) == len(set(doc_ids))
+
+    urls = [page.url for page in corpus.pages]
+    assert len(urls) == len(set(urls))
+
+    for page in corpus.pages[:: max(1, len(corpus.pages) // 200)]:
+        # Every page is hosted on a registered domain and its URL
+        # normalizes back to it.
+        assert page.domain in registry
+        assert registrable_domain(page.url) == page.domain
+        # Dates never post-date the study.
+        assert page.published <= study_date
+        # Stances cover only the page's entities and stay bounded.
+        assert set(page.entity_stance) == set(page.entities)
+        for entity_id in page.entities:
+            assert entity_id in catalog
+            assert -1.0 <= page.entity_stance[entity_id] <= 1.0
+        assert 0.0 <= page.quality <= 1.0
+        assert 0.0 <= page.seo_score <= 1.0
+
+    # The link graph only references registered domains.
+    for source, target, weight in corpus.link_graph.edges():
+        assert source in registry and target in registry
+        assert weight > 0
+
+
+@settings(max_examples=4, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_generation_is_a_pure_function_of_the_seed(seed):
+    __, __, a = build(seed, 0.5)
+    __, __, b = build(seed, 0.5)
+    assert len(a) == len(b)
+    assert [p.url for p in a.pages] == [p.url for p in b.pages]
+    assert [p.published for p in a.pages] == [p.published for p in b.pages]
+    assert set(a.link_graph.edges()) == set(b.link_graph.edges())
+
+
+@settings(max_examples=4, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_exposure_gradient_is_seed_robust(seed):
+    """The popularity->coverage concentration must hold at every seed."""
+    catalog, __, corpus = build(seed, 0.8)
+    for vertical in ("suvs", "smartphones", "airlines"):
+        entities = catalog.in_vertical(vertical)
+        top = max(entities, key=lambda e: e.popularity)
+        bottom = min(entities, key=lambda e: e.popularity)
+        assert corpus.entity_exposure(top.id) > corpus.entity_exposure(bottom.id)

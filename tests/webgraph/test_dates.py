@@ -1,0 +1,80 @@
+"""Tests for the temporal model."""
+
+import datetime as dt
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.webgraph.dates import DEFAULT_STUDY_DATE, AgeProfile, StudyClock
+
+
+class TestStudyClock:
+    def test_age_days(self):
+        clock = StudyClock(dt.date(2025, 10, 1))
+        assert clock.age_days(dt.date(2025, 9, 1)) == 30
+
+    def test_future_pages_clamp_to_zero(self):
+        clock = StudyClock(dt.date(2025, 10, 1))
+        assert clock.age_days(dt.date(2025, 12, 25)) == 0
+
+    def test_date_for_age_roundtrip(self):
+        clock = StudyClock()
+        for age in (0, 1, 100, 2000):
+            assert clock.age_days(clock.date_for_age(age)) == age
+
+    def test_negative_age_raises(self):
+        with pytest.raises(ValueError):
+            StudyClock().date_for_age(-1)
+
+    def test_default_study_date(self):
+        assert StudyClock().today == DEFAULT_STUDY_DATE
+
+
+class TestAgeProfile:
+    def test_invalid_median_raises(self):
+        with pytest.raises(ValueError):
+            AgeProfile(median_days=0)
+
+    def test_invalid_sigma_raises(self):
+        with pytest.raises(ValueError):
+            AgeProfile(median_days=10, sigma=0)
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ValueError):
+            AgeProfile(median_days=10, floor_days=50, cap_days=10)
+
+    def test_samples_respect_bounds(self):
+        profile = AgeProfile(median_days=60, floor_days=5, cap_days=300)
+        rng = random.Random(0)
+        samples = [profile.sample_age(rng) for _ in range(500)]
+        assert all(5 <= s <= 300 for s in samples)
+
+    def test_sampling_is_deterministic_per_seed(self):
+        profile = AgeProfile(median_days=60)
+        a = [profile.sample_age(random.Random(7)) for _ in range(10)]
+        b = [profile.sample_age(random.Random(7)) for _ in range(10)]
+        assert a == b
+
+    def test_median_is_roughly_respected(self):
+        profile = AgeProfile(median_days=100, sigma=0.8, cap_days=100000)
+        rng = random.Random(1)
+        samples = sorted(profile.sample_age(rng) for _ in range(4000))
+        empirical_median = samples[len(samples) // 2]
+        assert 80 <= empirical_median <= 125
+
+    def test_scaled_shifts_median(self):
+        base = AgeProfile(median_days=50, sigma=0.7)
+        older = base.scaled(3.0)
+        assert older.median_days == 150
+        assert older.sigma == base.sigma
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            AgeProfile(median_days=50).scaled(0)
+
+    @given(st.floats(min_value=1.0, max_value=1000.0), st.integers(0, 2**32))
+    def test_sample_always_positive(self, median, seed):
+        profile = AgeProfile(median_days=median)
+        assert profile.sample_age(random.Random(seed)) >= profile.floor_days

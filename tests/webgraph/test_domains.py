@@ -1,0 +1,136 @@
+"""Tests for the domain registry."""
+
+import pytest
+
+from repro.webgraph.dates import AgeProfile
+from repro.webgraph.domains import (
+    DomainRecord,
+    DomainRegistry,
+    SourceType,
+    build_default_registry,
+)
+
+
+class TestDomainRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="registrable"):
+            DomainRecord(name="nodots", source_type=SourceType.EARNED)
+        with pytest.raises(ValueError, match="authority"):
+            DomainRecord(name="a.com", source_type=SourceType.EARNED, authority=1.5)
+        with pytest.raises(ValueError, match="publish_volume"):
+            DomainRecord(name="a.com", source_type=SourceType.EARNED, publish_volume=0)
+
+    def test_effective_age_profile_falls_back_to_type_default(self):
+        earned = DomainRecord(name="a.com", source_type=SourceType.EARNED)
+        brand = DomainRecord(name="b.com", source_type=SourceType.BRAND)
+        assert earned.effective_age_profile().median_days < brand.effective_age_profile().median_days
+
+    def test_explicit_age_profile_wins(self):
+        custom = AgeProfile(median_days=999)
+        record = DomainRecord(
+            name="a.com", source_type=SourceType.EARNED, age_profile=custom
+        )
+        assert record.effective_age_profile() is custom
+
+    def test_covers(self):
+        general = DomainRecord(name="a.com", source_type=SourceType.SOCIAL)
+        focused = DomainRecord(
+            name="b.com",
+            source_type=SourceType.EARNED,
+            verticals=frozenset({"suvs"}),
+        )
+        assert general.covers("anything")
+        assert focused.covers("suvs")
+        assert not focused.covers("laptops")
+
+
+class TestDomainRegistry:
+    def test_add_and_get(self):
+        registry = DomainRegistry()
+        record = DomainRecord(name="a.com", source_type=SourceType.EARNED)
+        registry.add(record)
+        assert registry.get("a.com") is record
+        assert "a.com" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_add_raises(self):
+        registry = DomainRegistry()
+        registry.add(DomainRecord(name="a.com", source_type=SourceType.EARNED))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.add(DomainRecord(name="a.com", source_type=SourceType.SOCIAL))
+
+    def test_by_type_and_covering(self):
+        registry = DomainRegistry()
+        registry.add(
+            DomainRecord(
+                name="earned.com",
+                source_type=SourceType.EARNED,
+                verticals=frozenset({"suvs"}),
+            )
+        )
+        registry.add(DomainRecord(name="social.com", source_type=SourceType.SOCIAL))
+        assert [r.name for r in registry.by_type(SourceType.EARNED)] == ["earned.com"]
+        covering = {r.name for r in registry.covering("suvs")}
+        assert covering == {"earned.com", "social.com"}
+
+    def test_ensure_brand_domain_creates(self):
+        registry = DomainRegistry()
+        record = registry.ensure_brand_domain("toyota.com", "suvs", authority=0.8)
+        assert record.source_type is SourceType.BRAND
+        assert record.verticals == {"suvs"}
+
+    def test_ensure_brand_domain_merges_verticals(self):
+        registry = DomainRegistry()
+        registry.ensure_brand_domain("samsung.com", "smartphones", authority=0.7)
+        merged = registry.ensure_brand_domain("samsung.com", "laptops", authority=0.9)
+        assert merged.verticals == {"smartphones", "laptops"}
+        assert merged.authority == 0.9
+
+    def test_ensure_brand_domain_conflicts_with_non_brand(self):
+        registry = DomainRegistry()
+        registry.add(DomainRecord(name="reddit.com", source_type=SourceType.SOCIAL))
+        with pytest.raises(ValueError, match="already registered as social"):
+            registry.ensure_brand_domain("reddit.com", "suvs", authority=0.5)
+
+
+class TestDefaultRegistry:
+    @pytest.fixture(scope="class")
+    def registry(self):
+        return build_default_registry()
+
+    def test_paper_named_outlets_present(self, registry):
+        for name in (
+            "techradar.com", "tomsguide.com", "rtings.com", "cnet.com",
+            "wikipedia.org", "consumerreports.org", "caranddriver.com",
+            "youtube.com", "bestbuy.com", "cars.com",
+        ):
+            assert name in registry, name
+
+    def test_all_three_types_populated(self, registry):
+        for source_type in SourceType:
+            assert registry.by_type(source_type), source_type
+
+    def test_no_brand_manufacturers_in_default(self, registry):
+        # Brand manufacturer domains are registered from the catalog, not
+        # curated; the only BRAND records in the default set are retailers.
+        for record in registry.by_type(SourceType.BRAND):
+            assert record.is_retailer, record.name
+
+    def test_each_consumer_vertical_has_earned_coverage(self, registry):
+        from repro.entities.verticals import CONSUMER_TOPICS
+
+        for vertical in CONSUMER_TOPICS:
+            earned = [
+                r for r in registry.covering(vertical)
+                if r.source_type is SourceType.EARNED
+            ]
+            assert len(earned) >= 5, vertical
+
+    def test_core_social_platforms_are_general_interest(self, registry):
+        for name in ("reddit.com", "youtube.com", "quora.com", "x.com"):
+            assert not registry.get(name).verticals, name
+
+    def test_scoped_social_platforms_stay_in_their_lane(self, registry):
+        assert registry.get("tripadvisor.com").verticals
+        assert not registry.get("tripadvisor.com").covers("smartphones")
+        assert registry.get("flyertalk.com").covers("airlines")

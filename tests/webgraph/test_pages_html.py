@@ -1,0 +1,98 @@
+"""Tests for page models and HTML rendering."""
+
+import datetime as dt
+
+import pytest
+
+from repro.webgraph.html import render_page
+from repro.webgraph.pages import DateMarkup, Page, PageKind
+
+
+def make_page(markup=DateMarkup.META, **overrides) -> Page:
+    defaults = dict(
+        doc_id=1,
+        url="https://techradar.com/smartphones/best-phones-1",
+        domain="techradar.com",
+        kind=PageKind.RANKING,
+        vertical="smartphones",
+        title="The 10 best smartphones of 2025",
+        body="We looked closely at smartphones.\nApple proved excellent.",
+        published=dt.date(2025, 3, 3),
+        date_markup=markup,
+        entities=("smartphones:apple",),
+        entity_stance={"smartphones:apple": 0.8},
+        quality=0.8,
+        seo_score=0.7,
+    )
+    defaults.update(overrides)
+    return Page(**defaults)
+
+
+class TestPage:
+    def test_primary_entity(self):
+        page = make_page(entities=("a:x", "a:y"), entity_stance={})
+        assert page.primary_entity == "a:x"
+        assert make_page(entities=(), entity_stance={}).primary_entity is None
+
+    def test_mentions(self):
+        page = make_page()
+        assert page.mentions("smartphones:apple")
+        assert not page.mentions("smartphones:samsung")
+
+    def test_text_includes_title_and_body(self):
+        text = make_page().text()
+        assert "best smartphones" in text
+        assert "Apple proved excellent" in text
+
+    def test_quality_validation(self):
+        with pytest.raises(ValueError, match="quality"):
+            make_page(quality=1.2)
+
+    def test_stance_validation(self):
+        with pytest.raises(ValueError, match="stance"):
+            make_page(entity_stance={"a:x": 2.0})
+
+
+class TestRenderPage:
+    def test_meta_markup(self):
+        html = render_page(make_page(DateMarkup.META))
+        assert '<meta property="article:published_time" content="2025-03-03' in html
+        assert "application/ld+json" not in html
+
+    def test_json_ld_markup(self):
+        html = render_page(make_page(DateMarkup.JSON_LD))
+        assert "application/ld+json" in html
+        assert '"datePublished": "2025-03-03"' in html
+        assert "article:published_time" not in html
+
+    def test_time_tag_markup(self):
+        html = render_page(make_page(DateMarkup.TIME_TAG))
+        assert '<time datetime="2025-03-03">March 3, 2025</time>' in html
+
+    def test_body_text_markup(self):
+        html = render_page(make_page(DateMarkup.BODY_TEXT))
+        assert "Published on March 3, 2025" in html
+        assert "<time" not in html
+        assert "article:published_time" not in html
+
+    def test_no_markup_leaves_no_date(self):
+        html = render_page(make_page(DateMarkup.NONE))
+        assert "2025-03-03" not in html
+        assert "March 3, 2025" not in html
+
+    def test_title_is_escaped(self):
+        page = make_page(title="Best <script> & phones")
+        html = render_page(page)
+        assert "<script>" not in html.replace('<script type="application/ld+json">', "")
+        assert "&lt;script&gt;" in html
+        assert "&amp;" in html
+
+    def test_body_paragraphs(self):
+        html = render_page(make_page())
+        assert html.count("<p>") >= 2
+        assert "<h1>The 10 best smartphones of 2025</h1>" in html
+
+    def test_document_structure(self):
+        html = render_page(make_page())
+        for fragment in ("<!DOCTYPE html>", "<head>", "</head>", "<body>", "</body>", "</html>"):
+            assert fragment in html

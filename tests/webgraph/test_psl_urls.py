@@ -1,0 +1,113 @@
+"""Tests for public-suffix handling and URL normalization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.webgraph.psl import PublicSuffixList, default_psl
+from repro.webgraph.urls import extract_host, normalize_url, registrable_domain
+
+
+class TestPublicSuffixList:
+    @pytest.fixture
+    def psl(self):
+        return default_psl()
+
+    def test_simple_com(self, psl):
+        assert psl.public_suffix("techradar.com") == "com"
+        assert psl.registrable_domain("techradar.com") == "techradar.com"
+
+    def test_subdomain(self, psl):
+        assert psl.registrable_domain("www.techradar.com") == "techradar.com"
+        assert psl.registrable_domain("a.b.c.techradar.com") == "techradar.com"
+
+    def test_two_level_suffix(self, psl):
+        assert psl.public_suffix("example.co.uk") == "co.uk"
+        assert psl.registrable_domain("shop.example.co.uk") == "example.co.uk"
+
+    def test_longest_rule_wins(self, psl):
+        # "uk" and "co.uk" both match; co.uk is longer.
+        assert psl.public_suffix("x.co.uk") == "co.uk"
+
+    def test_unknown_tld_falls_back_to_last_label(self, psl):
+        assert psl.public_suffix("foo.example.unknowntld") == "unknowntld"
+        assert psl.registrable_domain("foo.example.unknowntld") == "example.unknowntld"
+
+    def test_wildcard_rule(self, psl):
+        # *.ck means every label under ck is itself a suffix.
+        assert psl.public_suffix("foo.anything.ck") == "anything.ck"
+        assert psl.registrable_domain("foo.anything.ck") == "foo.anything.ck"
+
+    def test_exception_rule(self, psl):
+        # !www.ck overrides the wildcard: www.ck is registrable.
+        assert psl.public_suffix("www.ck") == "ck"
+        assert psl.registrable_domain("www.ck") == "www.ck"
+        assert psl.registrable_domain("sub.www.ck") == "www.ck"
+
+    def test_bare_suffix_has_no_registrable_domain(self, psl):
+        with pytest.raises(ValueError, match="public suffix"):
+            psl.registrable_domain("com")
+        with pytest.raises(ValueError, match="public suffix"):
+            psl.registrable_domain("co.uk")
+
+    def test_case_and_trailing_dot_insensitive(self, psl):
+        assert psl.registrable_domain("WWW.TechRadar.COM.") == "techradar.com"
+
+    def test_empty_hostname_raises(self, psl):
+        with pytest.raises(ValueError):
+            psl.public_suffix("")
+
+    def test_custom_rules(self):
+        psl = PublicSuffixList("com\nfoo.com\n")
+        assert psl.public_suffix("bar.foo.com") == "foo.com"
+        assert psl.registrable_domain("x.bar.foo.com") == "bar.foo.com"
+
+
+class TestExtractHost:
+    def test_full_url(self):
+        assert extract_host("https://www.cnet.com/reviews/") == "www.cnet.com"
+
+    def test_schemeless(self):
+        assert extract_host("techradar.com/best-phones") == "techradar.com"
+
+    def test_port_and_userinfo(self):
+        assert extract_host("http://user:pw@example.com:8080/x") == "example.com"
+
+    def test_protocol_relative(self):
+        assert extract_host("//cdn.example.com/asset.js") == "cdn.example.com"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            extract_host("   ")
+
+    def test_no_dot_host_raises(self):
+        with pytest.raises(ValueError):
+            extract_host("http://localhost/x")
+
+
+class TestRegistrableDomain:
+    def test_paper_examples(self):
+        assert registrable_domain("https://www.techradar.com/best/phones") == "techradar.com"
+        assert registrable_domain("https://youtu.be.example.co.uk/x") == "example.co.uk"
+
+    def test_normalize_url_returns_none_on_garbage(self):
+        assert normalize_url("not a url") is None
+        assert normalize_url("https://com/") is None
+        assert normalize_url("") is None
+
+    def test_normalize_url_happy_path(self):
+        assert normalize_url("HTTP://WWW.Reddit.com/r/suvs") == "reddit.com"
+
+    @given(
+        st.sampled_from(["techradar.com", "example.co.uk", "foo.org", "bar.io"]),
+        st.sampled_from(["", "www.", "news.", "a.b."]),
+        st.sampled_from(["", "/path", "/a/b?q=1#frag", ":443/x"]),
+    )
+    def test_subdomains_and_paths_never_change_the_domain(self, base, sub, tail):
+        url = f"https://{sub}{base}{tail}"
+        assert normalize_url(url) == base
+
+    @given(st.text(max_size=30))
+    def test_normalize_never_raises(self, junk):
+        result = normalize_url(junk)
+        assert result is None or "." in result

@@ -1,0 +1,93 @@
+"""Tests for corpus serialization round-trips."""
+
+import json
+
+import pytest
+
+from repro.core import StudyConfig, World
+from repro.webgraph.serialize import (
+    dump_corpus,
+    dumps_corpus,
+    load_corpus,
+    loads_corpus,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return World.build(StudyConfig(seed=13, corpus_scale=0.3)).corpus
+
+
+class TestRoundTrip:
+    def test_string_round_trip_preserves_pages(self, corpus):
+        restored = loads_corpus(dumps_corpus(corpus))
+        assert len(restored) == len(corpus)
+        for original, loaded in zip(corpus.pages, restored.pages):
+            assert original == loaded
+
+    def test_round_trip_preserves_link_graph(self, corpus):
+        restored = loads_corpus(dumps_corpus(corpus))
+        assert set(restored.link_graph.edges()) == set(corpus.link_graph.edges())
+        assert set(restored.link_graph.nodes()) == set(corpus.link_graph.nodes())
+
+    def test_round_trip_preserves_clock(self, corpus):
+        restored = loads_corpus(dumps_corpus(corpus))
+        assert restored.clock.today == corpus.clock.today
+
+    def test_round_trip_preserves_indexes(self, corpus):
+        restored = loads_corpus(dumps_corpus(corpus))
+        entity = corpus.pages[0].entities[0]
+        assert restored.entity_exposure(entity) == corpus.entity_exposure(entity)
+        assert restored.domains() == corpus.domains()
+
+    def test_file_round_trip(self, corpus, tmp_path):
+        path = tmp_path / "snapshots" / "web.jsonl"
+        dump_corpus(corpus, path)
+        restored = load_corpus(path)
+        assert len(restored) == len(corpus)
+
+    def test_restored_corpus_supports_search(self, corpus):
+        from repro.search.bm25 import BM25Scorer
+        from repro.search.index import InvertedIndex
+
+        restored = loads_corpus(dumps_corpus(corpus))
+        index = InvertedIndex()
+        index.add_all(restored.pages)
+        assert BM25Scorer(index).score_all("best smartphones")
+
+
+class TestFormatValidation:
+    def test_missing_header(self):
+        with pytest.raises(ValueError, match="header"):
+            loads_corpus('{"kind": "page"}')
+
+    def test_wrong_format(self):
+        with pytest.raises(ValueError, match="snapshot"):
+            loads_corpus(json.dumps({"kind": "header", "format": "other", "version": 1}))
+
+    def test_wrong_version(self, corpus):
+        text = dumps_corpus(corpus)
+        header = json.loads(text.splitlines()[0])
+        header["version"] = 99
+        body = "\n".join([json.dumps(header)] + text.splitlines()[1:])
+        with pytest.raises(ValueError, match="version"):
+            loads_corpus(body)
+
+    def test_unknown_record_kind(self, corpus):
+        text = dumps_corpus(corpus) + json.dumps({"kind": "mystery"}) + "\n"
+        with pytest.raises(ValueError, match="unknown record kind"):
+            loads_corpus(text)
+
+    def test_page_count_mismatch(self, corpus):
+        lines = dumps_corpus(corpus).splitlines()
+        # Drop one page line.
+        page_index = next(
+            i for i, line in enumerate(lines) if '"kind": "page"' in line
+        )
+        del lines[page_index]
+        with pytest.raises(ValueError, match="declares"):
+            loads_corpus("\n".join(lines))
+
+    def test_blank_lines_tolerated(self, corpus):
+        text = dumps_corpus(corpus).replace("\n", "\n\n")
+        assert len(loads_corpus(text)) == len(corpus)

@@ -1,0 +1,51 @@
+"""Calibration harness: quick paper-vs-measured dashboards.
+
+Runs reduced-size versions of the experiments and prints the measured
+values next to the paper's, so persona/SEO parameters can be tuned.
+Usage: ``python tools/calibrate.py [fig1 fig3 fig4 table1 table2 table3]``
+"""
+
+import sys
+import time
+
+from repro.core import StudyConfig, World, run_experiment
+from repro.core.config import WorkloadSizes
+
+PAPER = """
+paper targets:
+  fig1 overlap: GPT-4o 4.0 < Gemini 11.1 < Claude 12.6 < Perplexity 15.2 (%)
+  fig2: niche raises overlap 3-4pp for most; GPT barely (1.3->1.9); unique 74.2->68.6
+  fig3 aggregate (earned/social/brand):
+      Google 41/34/26  Claude 65/1/34  GPT 57/8/35  Perplexity 50/11/39  Gemini 46/8/46
+  fig4 median ages: CE: Claude 62, GPT 80, Perplexity 90, Google 130
+                    Auto: Claude 148, GPT 162, Perplexity 217, Google 493
+  table1: popular SSn 2.30 SSs 1.52 ESI 2.60 | niche SSn 4.15 SSs 0.46 ESI 4.63
+  table2: popular tau 0.911/1.000 | niche tau 0.556/0.689
+  table3 miss: Toyota .06 Honda .03 Kia .10 Chevrolet .26 Cadillac .58 Infiniti .73
+"""
+
+
+def main() -> None:
+    wanted = sys.argv[1:] or ["fig1", "fig3", "fig4", "table1", "table2", "table3"]
+    print(PAPER)
+    sizes = WorkloadSizes(
+        ranking_queries=200,
+        comparison_popular=40,
+        comparison_niche=40,
+        intent_queries=120,
+        freshness_queries_per_vertical=25,
+        perturbation_queries=12,
+        perturbation_runs=6,
+        pairwise_queries=8,
+        citation_queries=60,
+    )
+    world = World.build(StudyConfig(seed=7, sizes=sizes))
+    for experiment_id in wanted:
+        start = time.time()
+        __, text = run_experiment(experiment_id, world)
+        print(f"\n=== {experiment_id} ({time.time() - start:.1f}s) ===")
+        print(text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Diff two JSON result archives (from ``python -m repro run --json``).
+
+Reports per-experiment numeric drift so code changes can be checked for
+unintended effects on the reproduced numbers.
+
+Usage: ``python tools/diff_results.py before.json after.json [--tol 1e-9]``
+"""
+
+import argparse
+import json
+import pathlib
+
+
+def _flatten(prefix: str, value, out: dict) -> None:
+    if isinstance(value, dict):
+        for key, item in value.items():
+            _flatten(f"{prefix}.{key}" if prefix else str(key), item, out)
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            _flatten(f"{prefix}[{index}]", item, out)
+    else:
+        out[prefix] = value
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("before", type=pathlib.Path)
+    parser.add_argument("after", type=pathlib.Path)
+    parser.add_argument("--tol", type=float, default=1e-9)
+    args = parser.parse_args()
+
+    before, after = {}, {}
+    _flatten("", json.loads(args.before.read_text()), before)
+    _flatten("", json.loads(args.after.read_text()), after)
+
+    added = sorted(set(after) - set(before))
+    removed = sorted(set(before) - set(after))
+    changed = []
+    for key in sorted(set(before) & set(after)):
+        a, b = before[key], after[key]
+        if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+            if a is not None and b is not None and abs(a - b) > args.tol:
+                changed.append((key, a, b))
+        elif a != b:
+            changed.append((key, a, b))
+
+    if not (added or removed or changed):
+        print("identical (within tolerance)")
+        return 0
+    for key in removed:
+        print(f"- {key} = {before[key]}")
+    for key in added:
+        print(f"+ {key} = {after[key]}")
+    for key, a, b in changed:
+        if isinstance(a, float) and isinstance(b, float):
+            print(f"~ {key}: {a:.6g} -> {b:.6g} (delta {b - a:+.6g})")
+        else:
+            print(f"~ {key}: {a!r} -> {b!r}")
+    print(f"\n{len(removed)} removed, {len(added)} added, {len(changed)} changed")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Run every experiment at the paper's workload sizes and save outputs.
+
+Usage: python tools/run_full_study.py [output_dir]
+"""
+
+import pathlib
+import sys
+import time
+
+from repro.core import StudyConfig, World, run_experiment
+
+def main() -> None:
+    out = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results/full")
+    out.mkdir(parents=True, exist_ok=True)
+    start = time.time()
+    world = World.build(StudyConfig(seed=7))
+    print(f"world built in {time.time()-start:.1f}s "
+          f"({len(world.corpus)} pages, {len(world.corpus.domains())} domains)")
+    for experiment_id in ("fig1", "fig2", "fig3", "fig4", "table1", "table2", "table3"):
+        t0 = time.time()
+        __, text = run_experiment(experiment_id, world)
+        (out / f"{experiment_id}.txt").write_text(text + "\n")
+        print(f"[{experiment_id}] {time.time()-t0:.1f}s")
+        print(text)
+        print()
+
+if __name__ == "__main__":
+    main()

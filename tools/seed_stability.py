@@ -1,0 +1,94 @@
+"""Seed-stability harness: are the shape conclusions seed-robust?
+
+Reruns the headline shape metrics across several seeds and reports how
+often each paper conclusion holds.  A reproduction whose conclusions
+depend on one lucky seed is not a reproduction; this harness is the
+check.
+
+Usage: ``python tools/seed_stability.py [n_seeds]``
+"""
+
+import sys
+
+from repro.core import StudyConfig, World
+from repro.core.config import WorkloadSizes
+from repro.core.study import ComparativeStudy
+
+SIZES = WorkloadSizes(
+    ranking_queries=150,
+    comparison_popular=30,
+    comparison_niche=30,
+    intent_queries=90,
+    freshness_queries_per_vertical=20,
+    perturbation_queries=10,
+    perturbation_runs=5,
+    pairwise_queries=6,
+    citation_queries=40,
+)
+
+CLAIMS = {
+    "fig1: GPT-4o lowest overlap": lambda m: m["fig1_order"][0] == "GPT-4o",
+    "fig1: Perplexity highest overlap": lambda m: m["fig1_order"][-1] == "Perplexity",
+    "fig1: all overlaps < 35%": lambda m: m["fig1_max"] < 0.35,
+    "fig4: AI fresher than Google (both verticals)": lambda m: m["fig4_ai_fresher"],
+    "fig4: automotive older than electronics": lambda m: m["fig4_auto_older"],
+    "table1: niche SSn > popular SSn": lambda m: m["t1_niche_gt_popular"],
+    "table1: strict niche < strict popular": lambda m: m["t1_strict_inversion"],
+    "table2: popular tau > niche tau (normal)": lambda m: m["t2_popular_gt_niche"],
+    "table3: peripheral misses > mainstream": lambda m: m["t3_gradient"],
+}
+
+
+def measure(seed: int) -> dict:
+    world = World.build(StudyConfig(seed=seed, sizes=SIZES))
+    study = ComparativeStudy(world)
+
+    fig1 = study.domain_overlap_ranking()
+    fig4 = study.freshness()
+    table1 = study.perturbation_sensitivity()
+    table2 = study.pairwise_agreement()
+    table3 = study.citation_misses()
+
+    ai_fresher = all(
+        report.median_age_days[system] < report.median_age_days["Google"]
+        for report in (fig4.electronics, fig4.automotive)
+        for system in ("GPT-4o", "Claude", "Perplexity")
+    )
+    auto_older = all(
+        fig4.automotive.median_age_days[s] > fig4.electronics.median_age_days[s]
+        for s in ("Google", "GPT-4o", "Claude", "Perplexity")
+    )
+    mainstream = (
+        table3.representative["Toyota"] + table3.representative["Honda"]
+    ) / 2
+    peripheral = (
+        table3.representative["Cadillac"] + table3.representative["Infiniti"]
+    ) / 2
+    return {
+        "fig1_order": [name for name, __ in fig1.ordered_by_overlap()],
+        "fig1_max": max(fig1.mean_overlap.values()),
+        "fig4_ai_fresher": ai_fresher,
+        "fig4_auto_older": auto_older,
+        "t1_niche_gt_popular": table1.ss_normal["niche"] > table1.ss_normal["popular"],
+        "t1_strict_inversion": table1.ss_strict["niche"] < table1.ss_strict["popular"],
+        "t2_popular_gt_niche": table2.tau_normal["popular"] > table2.tau_normal["niche"],
+        "t3_gradient": peripheral > mainstream + 0.2,
+    }
+
+
+def main() -> None:
+    n_seeds = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    seeds = list(range(1, n_seeds + 1))
+    holds = {claim: 0 for claim in CLAIMS}
+    for seed in seeds:
+        metrics = measure(seed)
+        print(f"seed {seed}: fig1 order {metrics['fig1_order']}")
+        for claim, check in CLAIMS.items():
+            holds[claim] += bool(check(metrics))
+    print(f"\nclaim stability over {n_seeds} seeds:")
+    for claim, count in holds.items():
+        print(f"  {count}/{n_seeds}  {claim}")
+
+
+if __name__ == "__main__":
+    main()

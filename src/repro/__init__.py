@@ -20,6 +20,7 @@ paper-vs-measured results.
 
 from repro.core.config import StudyConfig, WorkloadSizes
 from repro.core.experiments import EXPERIMENTS, run_experiment
+from repro.core.runner import StudyRunner
 from repro.core.study import ComparativeStudy
 from repro.core.world import World
 
@@ -29,6 +30,7 @@ __all__ = [
     "ComparativeStudy",
     "EXPERIMENTS",
     "StudyConfig",
+    "StudyRunner",
     "WorkloadSizes",
     "World",
     "run_experiment",

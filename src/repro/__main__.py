@@ -4,6 +4,8 @@ Subcommands:
 
 * ``list`` — show the experiment registry (paper artifact, workload).
 * ``run [ids...]`` — run experiments and print the paper-style tables;
+  ``--workers N`` fans engine workloads over a worker pool (results are
+  identical for any N), ``--stats`` prints runner/cache statistics, and
   ``--json PATH`` additionally archives the raw results.
 * ``calibration`` — print the calibration index (what each fitted
   parameter is constrained by).
@@ -24,6 +26,8 @@ from repro.core.calibration import calibration_report
 from repro.core.config import StudyConfig, WorkloadSizes
 from repro.core.experiments import EXPERIMENTS, run_experiment
 from repro.core.export import results_to_json
+from repro.core.report import render_stats
+from repro.core.study import ComparativeStudy
 from repro.core.world import World
 
 FAST_SIZES = WorkloadSizes(
@@ -37,6 +41,13 @@ FAST_SIZES = WorkloadSizes(
     pairwise_queries=8,
     citation_queries=60,
 )
+
+
+def _positive_int(raw: str) -> int:
+    value = int(raw)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -54,6 +65,21 @@ def _build_parser() -> argparse.ArgumentParser:
         default="fast",
         help="workload sizes: reduced 'fast' profile or the paper's full sizes",
     )
+    study_options.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="worker pool width for engine fan-out "
+        "(default: $REPRO_WORKERS or 1 = sequential; results are "
+        "identical for any value)",
+    )
+    study_options.add_argument(
+        "--executor",
+        choices=("process", "thread"),
+        default="process",
+        help="pool kind for --workers > 1 (default: process)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the experiment registry")
@@ -70,6 +96,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="experiment ids (default: all)",
     )
     run.add_argument("--json", type=pathlib.Path, help="archive raw results as JSON")
+    run.add_argument(
+        "--stats",
+        action="store_true",
+        help="print runner/cache statistics after the experiments",
+    )
 
     replicate_cmd = sub.add_parser(
         "replicate", help="rerun headline metrics across seeds"
@@ -101,7 +132,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _config(args: argparse.Namespace) -> StudyConfig:
     sizes = WorkloadSizes() if args.scale == "paper" else FAST_SIZES
-    return StudyConfig(seed=args.seed, sizes=sizes)
+    kwargs = dict(seed=args.seed, sizes=sizes)
+    if getattr(args, "workers", None) is not None:
+        kwargs["workers"] = args.workers
+    if getattr(args, "executor", None) is not None:
+        kwargs["executor"] = args.executor
+    return StudyConfig(**kwargs)
 
 
 def _cmd_list() -> int:
@@ -133,13 +169,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
     world = World.build(_config(args))
+    study = ComparativeStudy(world)
     results = {}
     for experiment_id in wanted:
         start = time.time()
-        result, text = run_experiment(experiment_id, world)
+        result, text = run_experiment(experiment_id, world, study=study)
         results[experiment_id] = result
         print(f"\n[{experiment_id}] ({time.time() - start:.1f}s)")
         print(text)
+    if args.stats:
+        print()
+        print(render_stats(study))
     if args.json:
         args.json.parent.mkdir(parents=True, exist_ok=True)
         args.json.write_text(results_to_json(results))

@@ -16,13 +16,17 @@ string registry (``run_experiment("fig1", world)``), and
 
 from repro.core.config import StudyConfig
 from repro.core.experiments import EXPERIMENTS, run_experiment
+from repro.core.runner import EvidenceCache, RunStats, StudyRunner
 from repro.core.study import ComparativeStudy
 from repro.core.world import World
 
 __all__ = [
     "ComparativeStudy",
     "EXPERIMENTS",
+    "EvidenceCache",
+    "RunStats",
     "StudyConfig",
+    "StudyRunner",
     "World",
     "run_experiment",
 ]

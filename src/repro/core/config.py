@@ -8,11 +8,29 @@ bit-identical.
 from __future__ import annotations
 
 import datetime as dt
+import os
 from dataclasses import dataclass, field
 
 from repro.webgraph.dates import DEFAULT_STUDY_DATE
 
-__all__ = ["StudyConfig", "WorkloadSizes"]
+__all__ = ["EXECUTORS", "StudyConfig", "WorkloadSizes", "default_workers"]
+
+#: Executor kinds the study runner accepts.
+EXECUTORS = ("process", "thread")
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_WORKERS`` (defaults to 1 = sequential).
+
+    The environment hook lets CI (and users) flip an entire test or
+    study run onto the parallel path without touching any call site.
+    Malformed values fall back to sequential rather than failing a run.
+    """
+    raw = os.environ.get("REPRO_WORKERS", "")
+    try:
+        return max(1, int(raw)) if raw else 1
+    except ValueError:
+        return 1
 
 
 @dataclass(frozen=True)
@@ -53,7 +71,20 @@ class StudyConfig:
     corpus_scale: float = 1.0
     study_date: dt.date = DEFAULT_STUDY_DATE
     sizes: WorkloadSizes = field(default_factory=WorkloadSizes)
+    #: Worker pool width for the study runner.  1 = the plain sequential
+    #: loop.  Excluded from equality/hash: results are identical for any
+    #: worker count (the runner's determinism invariant), so two configs
+    #: differing only in execution strategy describe the same study.
+    workers: int = field(default_factory=default_workers, compare=False)
+    #: "process" (fork-inherited world) or "thread".
+    executor: str = field(default="process", compare=False)
 
     def __post_init__(self) -> None:
         if self.corpus_scale <= 0:
             raise ValueError("corpus_scale must be positive")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )

@@ -93,8 +93,16 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
 }
 
 
-def run_experiment(experiment_id: str, world: World) -> tuple[object, str]:
-    """Run one experiment by id; returns (result, rendered text)."""
+def run_experiment(
+    experiment_id: str, world: World, study: ComparativeStudy | None = None
+) -> tuple[object, str]:
+    """Run one experiment by id; returns (result, rendered text).
+
+    Pass ``study`` to share one study (and its runner's stats and worker
+    pool settings) across several experiments; by default each call gets
+    a fresh study over ``world``.  Either way the experiment's wall time
+    lands in the runner's stats under the experiment id.
+    """
     try:
         spec = EXPERIMENTS[experiment_id]
     except KeyError:
@@ -102,6 +110,8 @@ def run_experiment(experiment_id: str, world: World) -> tuple[object, str]:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {known}"
         ) from None
-    study = ComparativeStudy(world)
-    result = spec.runner(study)
+    if study is None:
+        study = ComparativeStudy(world)
+    with study.runner.stats.phase(experiment_id):
+        result = spec.runner(study)
     return result, spec.renderer(result)

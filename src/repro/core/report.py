@@ -12,6 +12,7 @@ from repro.analysis.freshness import FreshnessReport
 from repro.analysis.overlap import OverlapReport
 from repro.analysis.typology import TypologyReport
 from repro.core.study import (
+    ComparativeStudy,
     Fig2Result,
     Fig4Result,
     Table1Result,
@@ -28,6 +29,7 @@ __all__ = [
     "render_fig2",
     "render_fig3",
     "render_fig4",
+    "render_stats",
     "render_table1",
     "render_table2",
     "render_table3",
@@ -180,6 +182,42 @@ def render_table2(result: Table2Result) -> str:
             f"{result.tau_normal[setting]:>13.3f} "
             f"{result.tau_strict[setting]:>13.3f}"
         )
+    return "\n".join(lines)
+
+
+def render_stats(study: "ComparativeStudy") -> str:
+    """Execution statistics for one study: phases, pools, caches.
+
+    Rendered by ``python -m repro run --stats``; covers the runner's
+    per-phase wall time and query counts, each engine's memo-cache
+    hits/misses (as observed in this process — forked pool workers keep
+    their own short-lived copies), and the world's evidence cache.
+    """
+    stats = study.runner.stats
+    lines = [
+        "Run statistics",
+        f"  runner: workers={stats.workers} executor={stats.executor}",
+        f"  {'phase':<12} {'wall s':>8} {'queries':>9} {'pool tasks':>11}",
+    ]
+    for phase in stats.phases.values():
+        lines.append(
+            f"  {phase.label:<12} {phase.seconds:>8.2f} "
+            f"{phase.queries:>9} {phase.pool_tasks:>11}"
+        )
+    lines.append(
+        f"  {'total':<12} {stats.total_seconds:>8.2f} {stats.total_queries:>9}"
+    )
+    lines.append("  engine memo caches (this process):")
+    for name, engine in study.world.engines.items():
+        hits, misses = engine.cache_stats()
+        lines.append(f"    {name:<11} hits {hits:>6}  misses {misses:>6}")
+    evidence = study.world.evidence_cache
+    cache_stats = evidence.stats
+    lines.append(
+        f"  evidence cache: {len(evidence)} contexts, "
+        f"{cache_stats.hits} hits / {cache_stats.misses} misses "
+        f"(hit rate {100.0 * cache_stats.hit_rate:.0f}%)"
+    )
     return "\n".join(lines)
 
 

@@ -1,0 +1,320 @@
+"""Parallel study execution: worker pools, evidence caching, run stats.
+
+The paper's workloads are embarrassingly parallel across (engine, query)
+pairs, and the Section 3 experiments re-retrieve the same evidence
+context ``D_q`` for the same queries in Tables 1, 2 and 3.  This module
+exploits both facts:
+
+* :class:`StudyRunner` fans ``engine.answer_all`` out over a
+  ``concurrent.futures`` pool.  ``workers=1`` (the default) is the plain
+  sequential loop the study always used, so determinism-sensitive tests
+  see no pool at all.  With ``workers > 1`` the workload is chunked per
+  engine and reassembled in submission order, which makes parallel
+  results **byte-identical** to sequential ones — engines are
+  deterministic per query, and ordering is fixed by construction, not by
+  completion time.
+* :class:`EvidenceCache` is a world-level, keyed memo for the Section
+  3.1 evidence contexts, so each ``(query, depth)`` pair is retrieved
+  exactly once per world no matter how many experiments revisit it.
+* :class:`RunStats` counts what happened (queries answered, pool tasks,
+  cache hits/misses, wall time per phase) and is rendered by
+  :func:`repro.core.report.render_stats` and ``python -m repro run
+  --stats``.
+
+Process pools use the ``fork`` start method and ship the world to
+workers by inheritance (a module-level global set just before the pool
+forks), so nothing as large as a corpus is ever pickled; only query
+chunks go in and answer lists come back.  On platforms without ``fork``
+the runner degrades to threads.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from collections.abc import Callable, Hashable, Iterator, Sequence
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.engines.base import Answer
+from repro.entities.queries import Query
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.world import World
+
+__all__ = [
+    "CacheStats",
+    "EvidenceCache",
+    "PhaseStats",
+    "RunStats",
+    "StudyRunner",
+]
+
+
+# ----------------------------------------------------------------------
+# Evidence cache
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class EvidenceCache:
+    """World-level memo for retrieved evidence contexts.
+
+    Keys are caller-provided hashables — the study uses
+    ``(query_text, policy)``, which captures everything the retrieval
+    depends on (the policy carries the evidence depth).  Values are
+    whatever ``compute`` returns; entries are held in FIFO insertion
+    order and trimmed to ``limit``.
+
+    Invariants:
+
+    * one retrieval per key per world — a second lookup is a hit, never
+      a recompute, so ``stats.misses == len(cache)`` until eviction
+      begins;
+    * thread-safe — ``compute`` runs outside the lock (a racing
+      duplicate computation is deterministic, so last-insert-wins is
+      harmless), bookkeeping inside it.
+    """
+
+    def __init__(self, limit: int = 8192) -> None:
+        if limit < 1:
+            raise ValueError("limit must be at least 1")
+        self._limit = limit
+        self._entries: dict[Hashable, Any] = {}
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing it on first use."""
+        with self._lock:
+            if key in self._entries:
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+        value = compute()
+        with self._lock:
+            if key not in self._entries:
+                self._entries[key] = value
+                while len(self._entries) > self._limit:
+                    self._entries.pop(next(iter(self._entries)))
+                    self.stats.evictions += 1
+            return self._entries[key]
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+
+# ----------------------------------------------------------------------
+# Run statistics
+
+
+@dataclass
+class PhaseStats:
+    """What one labelled phase of a run did."""
+
+    label: str
+    seconds: float = 0.0
+    queries: int = 0
+    pool_tasks: int = 0
+
+
+class RunStats:
+    """Timing and work counters for one study run.
+
+    Phases are labelled via the :meth:`phase` context manager (the
+    experiment registry labels them with the experiment id); pool
+    accounting from :class:`StudyRunner` lands on whichever phase is
+    active, or an ``(ad hoc)`` bucket outside any phase.
+    """
+
+    def __init__(self, workers: int = 1, executor: str = "process") -> None:
+        self.workers = workers
+        self.executor = executor
+        self.phases: dict[str, PhaseStats] = {}
+        self._stack: list[str] = []
+
+    def _bucket(self, label: str | None = None) -> PhaseStats:
+        name = label or (self._stack[-1] if self._stack else "(ad hoc)")
+        if name not in self.phases:
+            self.phases[name] = PhaseStats(label=name)
+        return self.phases[name]
+
+    @contextmanager
+    def phase(self, label: str) -> Iterator[PhaseStats]:
+        """Attribute wall time (and nested pool work) to ``label``."""
+        bucket = self._bucket(label)
+        self._stack.append(label)
+        started = time.perf_counter()
+        try:
+            yield bucket
+        finally:
+            self._stack.pop()
+            bucket.seconds += time.perf_counter() - started
+
+    def count_pool_work(self, queries: int, pool_tasks: int) -> None:
+        """Record one ``StudyRunner.answers`` call against the active phase."""
+        bucket = self._bucket()
+        bucket.queries += queries
+        bucket.pool_tasks += pool_tasks
+
+    @property
+    def total_queries(self) -> int:
+        return sum(p.queries for p in self.phases.values())
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(p.seconds for p in self.phases.values())
+
+
+# ----------------------------------------------------------------------
+# Worker-side entry point (process pools)
+
+#: World inherited by forked pool workers.  Set immediately before the
+#: pool is created and cleared right after it shuts down; ``fork``
+#: snapshots it into each child, so the corpus/index never crosses a
+#: pipe.
+_WORKER_WORLD: "World | None" = None
+
+
+def _answer_chunk(engine_name: str, queries: list[Query]) -> list[Answer]:
+    """Answer one chunk in a forked worker, via the inherited world."""
+    world = _WORKER_WORLD
+    if world is None:  # pragma: no cover - defensive; fork guarantees it
+        raise RuntimeError("worker has no inherited world")
+    return world.engines[engine_name].answer_all(queries)
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# ----------------------------------------------------------------------
+# The runner
+
+
+class StudyRunner:
+    """Fans engine workloads out over a worker pool.
+
+    ``workers`` and ``executor`` default to the world's
+    :class:`~repro.core.config.StudyConfig`; ``workers=1`` takes the
+    exact sequential path the study always had.  Executors:
+
+    * ``"process"`` — ``fork``-based :class:`ProcessPoolExecutor`; the
+      world is inherited copy-on-write, chunks of queries go out,
+      answers come back.  Worker-side engine memo caches are forked
+      copies and die with the pool, so the parent's caches are never
+      mutated concurrently.  Falls back to threads where ``fork`` is
+      unavailable.
+    * ``"thread"`` — :class:`ThreadPoolExecutor` sharing the parent's
+      engines; :meth:`AnswerEngine.answer` inserts under a lock, so the
+      shared memo cache is safe (duplicate computations are
+      deterministic and identical).
+
+    Determinism invariant: results are keyed by (engine, chunk index)
+    and reassembled in submission order, so for any worker count the
+    output is byte-identical to ``workers=1``.
+    """
+
+    def __init__(
+        self,
+        world: "World",
+        workers: int | None = None,
+        executor: str | None = None,
+        stats: RunStats | None = None,
+    ) -> None:
+        config = world.config
+        self._world = world
+        self.workers = config.workers if workers is None else workers
+        self.executor = config.executor if executor is None else executor
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.executor not in ("process", "thread"):
+            raise ValueError(f"unknown executor {self.executor!r}")
+        self.stats = stats or RunStats(self.workers, self.executor)
+
+    # ------------------------------------------------------------------
+
+    def answers(self, queries: Sequence[Query]) -> dict[str, list[Answer]]:
+        """Every engine's answers to ``queries``, possibly in parallel."""
+        queries = list(queries)
+        engines = self._world.engines
+        if self.workers == 1 or len(queries) < 2:
+            self.stats.count_pool_work(len(queries) * len(engines), 0)
+            return {
+                name: engine.answer_all(queries)
+                for name, engine in engines.items()
+            }
+        return self._answers_pooled(queries)
+
+    def _chunks(self, queries: list[Query]) -> list[list[Query]]:
+        size = max(1, -(-len(queries) // self.workers))  # ceil division
+        return [queries[i : i + size] for i in range(0, len(queries), size)]
+
+    def _answers_pooled(self, queries: list[Query]) -> dict[str, list[Answer]]:
+        global _WORKER_WORLD
+        engines = self._world.engines
+        chunks = self._chunks(queries)
+        use_processes = self.executor == "process" and _fork_available()
+
+        futures: dict[str, list[Future]] = {}
+        if use_processes:
+            _WORKER_WORLD = self._world
+            pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        else:
+            pool = ThreadPoolExecutor(max_workers=self.workers)
+        try:
+            for name in engines:
+                if use_processes:
+                    futures[name] = [
+                        pool.submit(_answer_chunk, name, chunk)
+                        for chunk in chunks
+                    ]
+                else:
+                    futures[name] = [
+                        pool.submit(engines[name].answer_all, chunk)
+                        for chunk in chunks
+                    ]
+            # Reassembly in submission order — not completion order —
+            # is what makes the output independent of scheduling.
+            results = {
+                name: [answer for future in futs for answer in future.result()]
+                for name, futs in futures.items()
+            }
+        finally:
+            pool.shutdown()
+            if use_processes:
+                _WORKER_WORLD = None
+        self.stats.count_pool_work(
+            len(queries) * len(engines), len(chunks) * len(engines)
+        )
+        return results

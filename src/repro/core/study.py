@@ -17,6 +17,7 @@ from repro.analysis.overlap import OverlapReport, domain_overlap
 from repro.analysis.pairwise import pairwise_consistency
 from repro.analysis.perturbations import PerturbationKind, sensitivity
 from repro.analysis.typology import TypologyReport, typology_by_intent
+from repro.core.runner import StudyRunner
 from repro.core.world import World
 from repro.engines.base import Answer
 from repro.engines.generative import context_from_pages
@@ -101,24 +102,42 @@ class Table3Result:
     overall_miss_rate: float
 
 
-class ComparativeStudy:
-    """Runs the paper's experiments against a :class:`World`."""
+def _mean(values: Sequence[float]) -> float:
+    """Mean of a result cell; NaN when every query was filtered out.
 
-    def __init__(self, world: World) -> None:
+    Tiny workloads (or strict filters) can empty a setting's cell —
+    e.g. every query lost its context or had fewer than two candidates.
+    The paper's tables simply have no number there, so the aggregation
+    reports NaN instead of dividing by zero.
+    """
+    return sum(values) / len(values) if values else float("nan")
+
+
+class ComparativeStudy:
+    """Runs the paper's experiments against a :class:`World`.
+
+    ``runner`` controls execution strategy (worker pools); it defaults
+    to a :class:`StudyRunner` built from the world's config, which is
+    sequential at ``workers=1``.  Results are identical for any runner.
+    """
+
+    def __init__(self, world: World, runner: StudyRunner | None = None) -> None:
         self._world = world
+        self._runner = runner if runner is not None else StudyRunner(world)
 
     @property
     def world(self) -> World:
         return self._world
 
+    @property
+    def runner(self) -> StudyRunner:
+        return self._runner
+
     # ------------------------------------------------------------------
     # Shared helpers
 
     def _answers(self, queries: Sequence[Query]) -> dict[str, list[Answer]]:
-        return {
-            name: engine.answer_all(list(queries))
-            for name, engine in self._world.engines.items()
-        }
+        return self._runner.answers(queries)
 
     #: The evidence-retrieval behaviour of "gpt-4o-search-preview with web
     #: search enabled" (Section 3.1): a relevance-dominant search tool with
@@ -142,10 +161,22 @@ class ComparativeStudy:
     )
 
     def _evidence_context(self, query: Query, depth: int = 10) -> ContextWindow:
-        """Retrieve the Section 3.1 evidence ``D_q`` for one query."""
+        """Retrieve the Section 3.1 evidence ``D_q`` for one query.
+
+        Memoized on the world's evidence cache: retrieval depends only
+        on the query text and the (depth-carrying) policy, so those two
+        form the key, and Tables 1, 2 and 3 run against a shared world
+        without ever retrieving the same context twice.
+        """
         policy = replace(self.EVIDENCE_POLICY, citations_per_answer=depth)
-        pages = self._world.retriever.select_sources(query.text, policy)
-        return context_from_pages(pages, query.text)
+
+        def retrieve() -> ContextWindow:
+            pages = self._world.retriever.select_sources(query.text, policy)
+            return context_from_pages(pages, query.text)
+
+        return self._world.evidence_cache.get_or_compute(
+            (query.text, policy), retrieve
+        )
 
     def _perturbation_queries(self) -> dict[str, list[Query]]:
         sizes = self._world.config.sizes
@@ -307,9 +338,9 @@ class ComparativeStudy:
                         **common,
                     ).delta_avg
                 )
-            ss_normal[setting] = sum(cells["ssn"]) / len(cells["ssn"])
-            ss_strict[setting] = sum(cells["sss"]) / len(cells["sss"])
-            esi[setting] = sum(cells["esi"]) / len(cells["esi"])
+            ss_normal[setting] = _mean(cells["ssn"])
+            ss_strict[setting] = _mean(cells["sss"])
+            esi[setting] = _mean(cells["esi"])
         return Table1Result(ss_normal=ss_normal, ss_strict=ss_strict, esi=esi)
 
     # ------------------------------------------------------------------
@@ -340,8 +371,8 @@ class ComparativeStudy:
                         llm, query.text, candidates, context, GroundingMode.STRICT
                     ).tau
                 )
-            tau_normal[setting] = sum(taus_n) / len(taus_n)
-            tau_strict[setting] = sum(taus_s) / len(taus_s)
+            tau_normal[setting] = _mean(taus_n)
+            tau_strict[setting] = _mean(taus_s)
         return Table2Result(tau_normal=tau_normal, tau_strict=tau_strict)
 
     # ------------------------------------------------------------------

@@ -12,6 +12,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.config import StudyConfig
+from repro.core.runner import EvidenceCache
 from repro.engines.base import AnswerEngine
 from repro.engines.registry import build_engines
 from repro.engines.retrieval import Retriever
@@ -40,6 +41,10 @@ class World:
     engines: dict[str, AnswerEngine]
     retriever: Retriever
     reference_llm: SimulatedLLM = field(repr=False)
+    #: Shared memo for Section 3.1 evidence contexts: every experiment
+    #: run against this world retrieves each (query, depth) context at
+    #: most once (see :class:`repro.core.runner.EvidenceCache`).
+    evidence_cache: EvidenceCache = field(default_factory=EvidenceCache, repr=False)
 
     @classmethod
     def build(cls, config: StudyConfig | None = None) -> "World":

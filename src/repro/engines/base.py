@@ -10,6 +10,7 @@ output).
 from __future__ import annotations
 
 import abc
+import threading
 from dataclasses import dataclass
 
 from repro.entities.queries import Query
@@ -72,11 +73,15 @@ class AnswerEngine(abc.ABC):
     #: Display name used in figures and tables ("Google", "GPT-4o", ...).
     name: str = "engine"
 
-    #: Cache entries kept per engine; oldest evicted beyond this.
+    #: Cache entries kept per engine; oldest (FIFO, by first insertion)
+    #: evicted only once the cache *exceeds* this after an insert.
     cache_limit: int = 4096
 
     def __init__(self) -> None:
         self._answer_cache: dict[tuple, Answer] = {}
+        self._cache_lock = threading.Lock()
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     @abc.abstractmethod
     def _answer_uncached(self, query: Query) -> Answer:
@@ -84,9 +89,12 @@ class AnswerEngine(abc.ABC):
 
     @staticmethod
     def _cache_key(query: Query) -> tuple:
+        # Every identity-bearing Query field participates: two queries
+        # differing only in popularity_class must not collide.
         return (
             query.id, query.text, query.kind, query.vertical,
-            query.intent, query.entities, query.top_k,
+            query.intent, query.entities, query.popularity_class,
+            query.top_k,
         )
 
     def answer(self, query: Query) -> Answer:
@@ -97,12 +105,39 @@ class AnswerEngine(abc.ABC):
             return self._answer_uncached(query)
         key = self._cache_key(query)
         cached = cache.get(key)
-        if cached is None:
-            cached = self._answer_uncached(query)
-            if len(cache) >= self.cache_limit:
-                cache.pop(next(iter(cache)))
-            cache[key] = cached
-        return cached
+        if cached is not None:
+            self._cache_hits += 1
+            return cached
+        answer = self._answer_uncached(query)
+        # Insert first, trim after: a present key is never grounds for
+        # eviction, and the cache holds exactly cache_limit entries at
+        # steady state instead of oscillating around it.  The lock keeps
+        # the memo safe under the thread executor — a racing duplicate
+        # computation is deterministic, and returning the stored entry
+        # preserves answer identity across threads.
+        with self._cache_lock:
+            if key not in cache:
+                self._cache_misses += 1
+                cache[key] = answer
+                while len(cache) > self.cache_limit:
+                    cache.pop(next(iter(cache)))
+            else:
+                self._cache_hits += 1
+            return cache[key]
+
+    def cache_stats(self) -> tuple[int, int]:
+        """(hits, misses) of this engine's memo, in this process."""
+        return self._cache_hits, self._cache_misses
+
+    def clear_cache(self) -> None:
+        """Drop memoized answers and reset the hit/miss counters."""
+        cache = getattr(self, "_answer_cache", None)
+        if cache is None:
+            return
+        with self._cache_lock:
+            cache.clear()
+            self._cache_hits = 0
+            self._cache_misses = 0
 
     def answer_all(self, queries: list[Query]) -> list[Answer]:
         """Answer a workload; convenience for experiment runners."""

@@ -47,6 +47,13 @@ class Snippet:
 class SearchEngine:
     """Organic web search over a :class:`Corpus`."""
 
+    #: Authority assumed for domains absent from the registry: the wider
+    #: web's median, unexceptional site.  One documented default shared
+    #: by organic blending and :meth:`domain_authority`, so the Google
+    #: stand-in and the persona retrievers score unknown domains
+    #: consistently (neither buries them at 0 nor trusts them).
+    UNKNOWN_DOMAIN_AUTHORITY = 0.3
+
     def __init__(
         self,
         corpus: Corpus,
@@ -84,8 +91,12 @@ class SearchEngine:
         return self._index
 
     def domain_authority(self, domain: str) -> float:
-        """Blended authority in ``[0, 1]`` (0 for unknown domains)."""
-        return self._authority.get(domain, 0.0)
+        """Blended authority in ``[0, 1]``.
+
+        Unknown domains get :data:`UNKNOWN_DOMAIN_AUTHORITY`, the same
+        default the organic blend uses.
+        """
+        return self._authority.get(domain, self.UNKNOWN_DOMAIN_AUTHORITY)
 
     def search(self, query: str, k: int = 10) -> list[SearchResult]:
         """Organic top-``k`` for ``query``."""
@@ -102,7 +113,7 @@ class SearchEngine:
             relevance = raw / max_bm25 if max_bm25 else 0.0
             blended = self._weights.blend(
                 relevance=relevance,
-                authority=self._authority.get(page.domain, 0.3),
+                authority=self.domain_authority(page.domain),
                 on_page_seo=page.seo_score,
                 age_days=self._corpus.clock.age_days(page.published),
             )

@@ -24,9 +24,30 @@ SMALL_SIZES = WorkloadSizes(
 )
 
 
+#: Smallest workload the validators accept — used by the runner
+#: determinism suite and the empty-cell regression tests, where the
+#: point is the execution path, not the paper's shape claims.
+TINY_SIZES = WorkloadSizes(
+    ranking_queries=20,
+    comparison_popular=6,
+    comparison_niche=6,
+    intent_queries=12,
+    freshness_queries_per_vertical=5,
+    perturbation_queries=3,
+    perturbation_runs=2,
+    pairwise_queries=2,
+    citation_queries=6,
+)
+
+
 @pytest.fixture(scope="session")
 def world():
     return World.build(StudyConfig(seed=7, sizes=SMALL_SIZES))
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    return World.build(StudyConfig(seed=13, corpus_scale=0.35, sizes=TINY_SIZES))
 
 
 @pytest.fixture(scope="session")

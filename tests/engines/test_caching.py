@@ -1,7 +1,7 @@
 """Tests for engine answer memoization."""
 
 from repro.engines.base import Answer, AnswerEngine
-from repro.entities.queries import Query, QueryKind
+from repro.entities.queries import PopularityClass, Query, QueryKind
 
 
 class CountingEngine(AnswerEngine):
@@ -17,10 +17,14 @@ class CountingEngine(AnswerEngine):
         return Answer(engine=self.name, query_id=query.id, text=query.text)
 
 
-def make_query(i: int, text: str | None = None) -> Query:
+def make_query(
+    i: int,
+    text: str | None = None,
+    popularity: PopularityClass | None = None,
+) -> Query:
     return Query(
         id=f"q{i}", text=text or f"query {i}", kind=QueryKind.RANKING,
-        vertical="suvs",
+        vertical="suvs", popularity_class=popularity,
     )
 
 
@@ -61,6 +65,53 @@ class TestAnswerCaching:
         answers = engine.answer_all(queries)
         assert engine.calls == 2
         assert answers[0] is answers[1]
+
+    def test_no_eviction_at_exactly_the_limit(self):
+        # Filling the cache to cache_limit must not evict anything:
+        # eviction fires only once an insert pushes the size *past* the
+        # limit (the old pre-insert eviction oscillated at the limit).
+        engine = CountingEngine()
+        for i in range(3):  # == limit
+            engine.answer(make_query(i))
+        for i in range(3):  # all still cached
+            engine.answer(make_query(i))
+        assert engine.calls == 3
+
+    def test_eviction_is_fifo_by_insertion_order(self):
+        engine = CountingEngine()
+        for i in range(3):
+            engine.answer(make_query(i))
+        engine.answer(make_query(0))  # hit; FIFO does not refresh order
+        engine.answer(make_query(3))  # over limit: q0 (oldest) evicted
+        assert engine.calls == 4
+        for i in (1, 2, 3):  # survivors, in order
+            engine.answer(make_query(i))
+        assert engine.calls == 4
+        engine.answer(make_query(0))  # recompute; evicts q1 next
+        assert engine.calls == 5
+        engine.answer(make_query(1))
+        assert engine.calls == 6
+
+    def test_popularity_class_is_part_of_the_key(self):
+        # Two queries differing only in popularity_class must not
+        # collide in the memo.
+        engine = CountingEngine()
+        engine.answer(make_query(0, popularity=PopularityClass.POPULAR))
+        engine.answer(make_query(0, popularity=PopularityClass.NICHE))
+        assert engine.calls == 2
+        engine.answer(make_query(0, popularity=PopularityClass.POPULAR))
+        assert engine.calls == 2
+
+    def test_hit_miss_counters_and_clear(self):
+        engine = CountingEngine()
+        engine.answer(make_query(0))
+        engine.answer(make_query(0))
+        engine.answer(make_query(1))
+        assert engine.cache_stats() == (1, 2)
+        engine.clear_cache()
+        assert engine.cache_stats() == (0, 0)
+        engine.answer(make_query(0))
+        assert engine.calls == 3  # truly dropped, not just counters
 
     def test_real_engine_caches(self, world):
         from repro.entities.queries import ranking_queries

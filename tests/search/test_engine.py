@@ -148,7 +148,16 @@ class TestSearchEngine:
         __, registry, __, engine = engine_world
         for name in registry.names():
             assert 0.0 <= engine.domain_authority(name) <= 1.0
-        assert engine.domain_authority("unknown.example") == 0.0
+
+    def test_unknown_domain_gets_the_documented_default(self, engine_world):
+        # The organic blend and domain_authority() must agree on one
+        # default for domains outside the registry.
+        *_, engine = engine_world
+        assert (
+            engine.domain_authority("unknown.example")
+            == SearchEngine.UNKNOWN_DOMAIN_AUTHORITY
+            == 0.3
+        )
 
     def test_freshness_weight_shifts_results_younger(self, engine_world):
         catalog, registry, corpus, __ = engine_world

@@ -1,12 +1,18 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-paper study calibrate stability examples clean
+.PHONY: install test lint bench bench-paper study calibrate stability examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+lint:
+	python -m repro lint
+
+lint-baseline:
+	python -m repro lint --update-baseline
 
 bench:
 	pytest benchmarks/ --benchmark-only

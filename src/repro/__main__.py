@@ -13,6 +13,8 @@ Subcommands:
 * ``replicate --seeds 1 2 3`` — rerun the headline metrics across seeds
   and report claim stability with bootstrap CIs.
 * ``snapshot PATH`` — archive the world's corpus as a JSON-lines file.
+* ``lint`` — run detlint, the determinism & reproducibility linter,
+  over the library source (see :mod:`repro.devtools.detlint`).
 """
 
 from __future__ import annotations
@@ -127,6 +129,13 @@ def _build_parser() -> argparse.ArgumentParser:
     ask.add_argument(
         "--full", action="store_true", help="print full answer texts, not just citations"
     )
+
+    from repro.devtools.detlint.cli import configure_parser as configure_lint
+
+    lint = sub.add_parser(
+        "lint", help="run the determinism linter over the library source"
+    )
+    configure_lint(lint)
     return parser
 
 
@@ -148,9 +157,9 @@ def _cmd_list() -> int:
 
 
 def _cmd_world(args: argparse.Namespace) -> int:
-    start = time.time()
+    start = time.time()  # detlint: ignore[DET002] -- operator-facing CLI timing
     world = World.build(_config(args))
-    elapsed = time.time() - start
+    elapsed = time.time() - start  # detlint: ignore[DET002] -- operator-facing CLI timing
     print(f"built in {elapsed:.1f}s (seed {args.seed})")
     print(f"  pages:    {len(world.corpus)}")
     print(f"  domains:  {len(world.corpus.domains())}")
@@ -172,10 +181,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     study = ComparativeStudy(world)
     results = {}
     for experiment_id in wanted:
-        start = time.time()
+        start = time.time()  # detlint: ignore[DET002] -- operator-facing CLI timing
         result, text = run_experiment(experiment_id, world, study=study)
         results[experiment_id] = result
-        print(f"\n[{experiment_id}] ({time.time() - start:.1f}s)")
+        print(f"\n[{experiment_id}] ({time.time() - start:.1f}s)")  # detlint: ignore[DET002]
         print(text)
     if args.stats:
         print()
@@ -273,6 +282,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_snapshot(args)
     if args.command == "ask":
         return _cmd_ask(args)
+    if args.command == "lint":
+        from repro.devtools.detlint.cli import run_lint
+
+        return run_lint(args)
     return _cmd_run(args)
 
 

@@ -12,7 +12,6 @@ portfolio per segment and audits each.
 from __future__ import annotations
 
 import dataclasses
-import random
 from dataclasses import dataclass
 
 from repro.aeo.audit import BrandAuditor, PresenceAudit
@@ -20,6 +19,7 @@ from repro.core.world import World
 from repro.entities.intents import INTENT_TEMPLATES, Intent
 from repro.entities.queries import Query, QueryKind, ranking_queries
 from repro.entities.verticals import get_vertical
+from repro.llm.rng import derive_rng
 
 __all__ = ["PatternReport", "QueryPatternAnalyzer", "SEGMENTS"]
 
@@ -92,7 +92,7 @@ class QueryPatternAnalyzer:
     ) -> list[Query]:
         entity = self._world.catalog.get(entity_id)
         vertical = get_vertical(entity.vertical)
-        rng = random.Random((seed, entity_id, intent.value).__repr__())
+        rng = derive_rng("pattern", seed, entity_id, intent.value)
         templates = INTENT_TEMPLATES[intent]
         queries = []
         for index in range(count):
@@ -137,7 +137,7 @@ class QueryPatternAnalyzer:
             if e.id != entity_id
         ]
         rivals.sort(key=lambda e: -e.popularity)
-        rng = random.Random((seed, entity_id, "cmp").__repr__())
+        rng = derive_rng("pattern", seed, entity_id, "cmp")
         queries = []
         for index in range(count):
             rival = rivals[index % max(1, min(4, len(rivals)))]

@@ -24,6 +24,7 @@ from repro.analysis.rank_metrics import mean_absolute_rank_deviation
 from repro.entities.catalog import EntityCatalog
 from repro.llm.context import ContextWindow
 from repro.llm.model import GroundingMode, SimulatedLLM
+from repro.llm.rng import derive_rng
 
 __all__ = [
     "PerturbationKind",
@@ -158,7 +159,7 @@ def sensitivity(
     baseline = llm.rank_entities(query, list(candidates), context, mode=mode)
     deltas = []
     for run in range(runs):
-        rng = random.Random((seed, query, run).__repr__())
+        rng = derive_rng("perturbation", seed, query, run)
         if kind is PerturbationKind.SNIPPET_SHUFFLE:
             perturbed_context = snippet_shuffle(context, rng)
         else:

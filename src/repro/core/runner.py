@@ -171,12 +171,12 @@ class RunStats:
         """Attribute wall time (and nested pool work) to ``label``."""
         bucket = self._bucket(label)
         self._stack.append(label)
-        started = time.perf_counter()
+        started = time.perf_counter()  # detlint: ignore[DET002] -- RunStats timing, not part of results
         try:
             yield bucket
         finally:
             self._stack.pop()
-            bucket.seconds += time.perf_counter() - started
+            bucket.seconds += time.perf_counter() - started  # detlint: ignore[DET002]
 
     def count_pool_work(self, queries: int, pool_tasks: int) -> None:
         """Record one ``StudyRunner.answers`` call against the active phase."""

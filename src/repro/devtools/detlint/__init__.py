@@ -1,0 +1,37 @@
+"""detlint — an AST-based determinism & reproducibility linter.
+
+The reproduction's core invariant is that every result is a pure
+function of ``(seed, config)``; the parallel study runner even promises
+byte-identical output across worker counts.  detlint machine-checks the
+coding discipline that invariant rests on:
+
+======  ==========================================================
+DET001  ``random.*`` / bare ``random.Random(...)`` outside the
+        ``derive_rng``/``derive_seed`` discipline
+DET002  wall-clock reads (``time.time``, ``datetime.now`` …) in
+        library code
+DET003  set iteration order leaking into ordered output
+DET004  builtin ``hash()`` (``PYTHONHASHSEED``-salted)
+DET005  filesystem enumeration without ``sorted()``
+DET006  ``os.environ`` reads outside ``repro.core.config``
+======  ==========================================================
+
+Waive a single site with ``# detlint: ignore[DET001] -- reason``;
+grandfather legacy debt in ``.detlint-baseline.json`` (baselined
+findings warn, new findings fail).  Run via ``python -m repro lint``.
+"""
+
+from repro.devtools.detlint.findings import Finding
+from repro.devtools.detlint.registry import Rule, all_rules, register, rule_table
+from repro.devtools.detlint.runner import LintReport, lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "rule_table",
+]

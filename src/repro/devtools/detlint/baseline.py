@@ -1,0 +1,128 @@
+"""The grandfathered-findings baseline.
+
+A checked-in JSON file records known findings that predate a rule (or
+are intentionally exempt at file scope).  Baselined findings are
+reported as warnings; anything *not* in the baseline fails the run, so
+the repository can only ratchet toward zero.
+
+Entries match on ``(path, rule, snippet)`` — not line numbers — so
+edits elsewhere in a file do not invalidate them, and each entry
+carries a mandatory human-readable ``reason``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from dataclasses import replace
+from pathlib import Path
+
+from repro.devtools.detlint.findings import Finding
+
+__all__ = ["apply_baseline", "existing_reasons", "load_baseline", "write_baseline"]
+
+_VERSION = 1
+
+
+def normalized_key(finding: Finding, base_dir: Path | str | None) -> str:
+    """Baseline key with the path made relative to the baseline file's dir.
+
+    Entries stay portable across checkouts and across invocations that
+    pass absolute vs. relative lint paths.
+    """
+    path = finding.path
+    if base_dir is not None:
+        try:
+            path = os.path.relpath(path, base_dir)
+        except ValueError:
+            pass
+    path = path.replace(os.sep, "/")
+    return f"{path}::{finding.rule}::{finding.snippet}"
+
+
+def load_baseline(path: Path | str | None) -> dict[str, int]:
+    """Baseline keys -> allowed occurrence counts (empty if no file)."""
+    if path is None:
+        return {}
+    path = Path(path)
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} in {path}"
+        )
+    allowance: dict[str, int] = {}
+    for entry in data.get("entries", []):
+        key = f"{entry['path']}::{entry['rule']}::{entry['snippet']}"
+        allowance[key] = allowance.get(key, 0) + int(entry.get("count", 1))
+    return allowance
+
+
+def apply_baseline(
+    findings: list[Finding],
+    allowance: dict[str, int],
+    base_dir: Path | str | None = None,
+) -> list[Finding]:
+    """Mark findings covered by the baseline, consuming allowance in order.
+
+    Findings arrive sorted by location, so when a file has more
+    occurrences of a grandfathered pattern than the baseline allows, the
+    *later* ones (most likely the newly introduced ones) stay blocking.
+    """
+    remaining = dict(allowance)
+    marked = []
+    for finding in findings:
+        key = normalized_key(finding, base_dir)
+        if not finding.waived and remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            finding = replace(finding, baselined=True)
+        marked.append(finding)
+    return marked
+
+
+def write_baseline(
+    findings: list[Finding],
+    path: Path | str,
+    reasons: dict[str, str] | None = None,
+) -> None:
+    """Write every non-waived finding as a grandfathered entry.
+
+    ``reasons`` maps baseline keys to explanations; entries without one
+    get a placeholder so reviewers can spot undocumented grandfathering.
+    """
+    reasons = reasons or {}
+    base_dir = Path(path).resolve().parent
+    counts = Counter(
+        normalized_key(f, base_dir) for f in findings if not f.waived
+    )
+    entries = []
+    for key in sorted(counts):
+        file_path, rule, snippet = key.split("::", 2)
+        entries.append(
+            {
+                "path": file_path,
+                "rule": rule,
+                "snippet": snippet,
+                "count": counts[key],
+                "reason": reasons.get(key, "TODO: document why this is grandfathered"),
+            }
+        )
+    payload = {"version": _VERSION, "entries": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def existing_reasons(path: Path | str | None) -> dict[str, str]:
+    """Reasons from the current baseline file, keyed like findings."""
+    if path is None or not Path(path).exists():
+        return {}
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    reasons = {}
+    for entry in data.get("entries", []):
+        key = f"{entry['path']}::{entry['rule']}::{entry['snippet']}"
+        if entry.get("reason"):
+            reasons[key] = entry["reason"]
+    return reasons

@@ -1,0 +1,61 @@
+"""The :class:`Finding` record produced by every detlint rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Findings sort by location so reports (and the baseline file) are
+    stable across runs regardless of rule execution order — the linter
+    holds itself to the determinism contract it enforces.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str = field(compare=False)
+    #: The stripped source line, used both for display and as the
+    #: line-number-independent identity that baseline entries match on.
+    snippet: str = field(default="", compare=False)
+    #: Last physical line of the flagged expression (pragmas anywhere in
+    #: the statement's line range waive it).
+    end_line: int = field(default=0, compare=False)
+    #: Suppressed by an inline ``# detlint: ignore[...]`` pragma.
+    waived: bool = field(default=False, compare=False)
+    #: Grandfathered by the checked-in baseline file.
+    baselined: bool = field(default=False, compare=False)
+
+    @property
+    def blocking(self) -> bool:
+        """Whether this finding should fail the lint run."""
+        return not (self.waived or self.baselined)
+
+    def key(self) -> str:
+        """Line-number-independent identity used by the baseline.
+
+        Keyed on (path, rule, snippet) rather than the line number so
+        unrelated edits above a grandfathered site do not invalidate it.
+        """
+        return f"{self.path}::{self.rule}::{self.snippet}"
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "snippet": self.snippet,
+            "waived": self.waived,
+            "baselined": self.baselined,
+        }

@@ -1,0 +1,71 @@
+"""Inline waiver pragmas.
+
+Syntax, on (or anywhere within the line span of) the offending statement::
+
+    rng = random.Random(seed)  # detlint: ignore[DET001] -- seed is an explicit API parameter
+
+A bare ``# detlint: ignore`` waives every rule on that line; a
+``# detlint: skip-file`` comment anywhere in the file skips it entirely.
+Comments are extracted with :mod:`tokenize`, so pragma-shaped text inside
+string literals is never mistaken for a waiver.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Pragmas", "parse_pragmas"]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*detlint:\s*(?P<kind>ignore|skip-file)"
+    r"(?:\[(?P<codes>[A-Z0-9,\s]+)\])?"
+)
+
+#: Sentinel meaning "waive every rule on this line".
+ALL_RULES = "*"
+
+
+@dataclass
+class Pragmas:
+    """Waivers parsed from one module's comments."""
+
+    skip_file: bool = False
+    #: line number -> set of waived rule codes (or ``{ALL_RULES}``).
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    def waives(self, rule: str, first_line: int, last_line: int) -> bool:
+        for line in range(first_line, max(first_line, last_line) + 1):
+            codes = self.by_line.get(line)
+            if codes is not None and (ALL_RULES in codes or rule in codes):
+                return True
+        return False
+
+
+def parse_pragmas(source: str) -> Pragmas:
+    pragmas = Pragmas()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return pragmas
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(token.string)
+        if match is None:
+            continue
+        if match.group("kind") == "skip-file":
+            pragmas.skip_file = True
+            continue
+        raw_codes = match.group("codes")
+        codes = (
+            frozenset(c.strip() for c in raw_codes.split(",") if c.strip())
+            if raw_codes
+            else frozenset({ALL_RULES})
+        )
+        line = token.start[0]
+        existing = pragmas.by_line.get(line, frozenset())
+        pragmas.by_line[line] = existing | codes
+    return pragmas

@@ -1,0 +1,84 @@
+"""Rule base class and registry.
+
+Each rule is a small :class:`ast.NodeVisitor` with a ``DETnnn`` code.
+Registering is declarative (the :func:`register` decorator); the runner
+instantiates every registered rule per module, in code order, so adding a
+rule is a single self-contained class.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.detlint.context import ModuleContext
+from repro.devtools.detlint.findings import Finding
+
+__all__ = ["Rule", "all_rules", "register", "rule_table"]
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> list[type[Rule]]:
+    """Registered rule classes, ordered by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def rule_table() -> list[tuple[str, str, str]]:
+    """``(code, title, summary)`` rows for ``lint --list-rules`` / docs."""
+    return [
+        (cls.code, cls.title, cls.summary) for cls in all_rules()
+    ]
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for one determinism rule.
+
+    Subclasses set ``code``/``title``/``summary``, optionally
+    ``exempt_modules`` (dotted prefixes the rule does not apply to), and
+    implement ``visit_*`` methods that call :meth:`report`.
+    """
+
+    code: str = ""
+    title: str = ""
+    summary: str = ""
+    #: Dotted module names (exact or package prefixes) this rule skips.
+    exempt_modules: tuple[str, ...] = ()
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+
+    @classmethod
+    def applies_to(cls, module: str) -> bool:
+        return not any(
+            module == exempt or module.startswith(exempt + ".")
+            for exempt in cls.exempt_modules
+        )
+
+    def report(self, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        self.findings.append(
+            Finding(
+                path=self.ctx.path,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+                rule=self.code,
+                message=message,
+                snippet=self.ctx.snippet(line),
+                end_line=getattr(node, "end_lineno", line) or line,
+            )
+        )
+
+    def run(self, tree: ast.Module) -> list[Finding]:
+        self.visit(tree)
+        return self.findings

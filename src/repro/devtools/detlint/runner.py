@@ -1,0 +1,130 @@
+"""File discovery, per-module rule execution, and report assembly."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.devtools.detlint.baseline import apply_baseline, load_baseline
+from repro.devtools.detlint.context import ModuleContext, collect_imports, module_name_for
+from repro.devtools.detlint.findings import Finding
+from repro.devtools.detlint.pragmas import parse_pragmas
+from repro.devtools.detlint.registry import all_rules
+
+# Rule modules register themselves on import.
+from repro.devtools.detlint import rules as _rules  # noqa: F401
+
+__all__ = ["LintReport", "lint_paths", "lint_source"]
+
+#: The library tree the determinism contract covers.  ``tools/`` and
+#: ``benchmarks/`` are operator-facing (timing is their job) and are
+#: deliberately outside the default scope.
+DEFAULT_PATHS = ("src/repro",)
+
+
+@dataclass
+class LintReport:
+    """All findings from one lint run, sorted by location."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def blocking(self) -> list[Finding]:
+        return [f for f in self.findings if f.blocking]
+
+    @property
+    def waived(self) -> list[Finding]:
+        return [f for f in self.findings if f.waived]
+
+    @property
+    def baselined(self) -> list[Finding]:
+        return [f for f in self.findings if f.baselined]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.blocking else 0
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "files": self.files_checked,
+            "findings": len(self.findings),
+            "blocking": len(self.blocking),
+            "waived": len(self.waived),
+            "baselined": len(self.baselined),
+        }
+
+
+def lint_source(source: str, path: str | Path = "<string>") -> list[Finding]:
+    """Lint one module's source text; findings sorted by location.
+
+    Pragma waivers are applied here; baseline matching happens at the
+    :func:`lint_paths` level (the baseline is a repository concern).
+    """
+    display = str(path)
+    parts = Path(display).parts
+    module = module_name_for(parts)
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=display,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                rule="DET000",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    pragmas = parse_pragmas(source)
+    if pragmas.skip_file:
+        return []
+    ctx = ModuleContext(
+        path=display,
+        module=module,
+        source_lines=source.splitlines(),
+        imports=collect_imports(tree, module),
+    )
+    findings: list[Finding] = []
+    for rule_cls in all_rules():
+        if not rule_cls.applies_to(module):
+            continue
+        findings.extend(rule_cls(ctx).run(tree))
+    findings.sort()
+    return [
+        replace(f, waived=True)
+        if pragmas.waives(f.rule, f.line, f.end_line)
+        else f
+        for f in findings
+    ]
+
+
+def iter_python_files(paths: list[str | Path]) -> list[Path]:
+    """Every ``.py`` file under the given paths, sorted for determinism."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def lint_paths(
+    paths: list[str | Path] | None = None,
+    baseline: str | Path | None = None,
+) -> LintReport:
+    """Lint files/trees and apply the baseline; the main entry point."""
+    targets = list(paths) if paths else [Path(p) for p in DEFAULT_PATHS]
+    findings: list[Finding] = []
+    files = iter_python_files(targets)
+    for file_path in files:
+        findings.extend(
+            lint_source(file_path.read_text(encoding="utf-8"), file_path)
+        )
+    findings.sort()
+    base_dir = Path(baseline).resolve().parent if baseline is not None else None
+    findings = apply_baseline(findings, load_baseline(baseline), base_dir)
+    return LintReport(findings=findings, files_checked=len(files))

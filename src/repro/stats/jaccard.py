@@ -70,7 +70,9 @@ def unique_ratio(sets: Sequence[Iterable[Hashable]]) -> float:
     """
     counts: dict[Hashable, int] = {}
     for s in sets:
-        for item in set(s):
+        # dict.fromkeys deduplicates while preserving the input order, so
+        # nothing here ever iterates a set (PYTHONHASHSEED-independent).
+        for item in dict.fromkeys(s):
             counts[item] = counts.get(item, 0) + 1
     if not counts:
         return 0.0

@@ -268,9 +268,12 @@ _TAIL_STEMS = {
 
 def _long_tail_for(vertical: str, count: int, seed: int = 20250601) -> list[DomainRecord]:
     """Deterministic mid-tier editorial outlets covering one vertical."""
-    import random as _random
+    # Imported at call time: repro.llm's package init reaches back into
+    # this module (classify needs SourceType), so a top-level import of
+    # the rng helper would be circular.
+    from repro.llm.rng import derive_rng
 
-    rng = _random.Random(f"tail:{seed}:{vertical}")
+    rng = derive_rng("tail", seed, vertical)
     stems = _TAIL_STEMS.get(vertical, ("consumer",))
     records = []
     seen: set[str] = set()
@@ -300,9 +303,9 @@ def _long_tail_for(vertical: str, count: int, seed: int = 20250601) -> list[Doma
 
 def _forums_for(vertical: str, count: int, seed: int = 20250601) -> list[DomainRecord]:
     """Vertical-specific community forums (social UGC long tail)."""
-    import random as _random
+    from repro.llm.rng import derive_rng
 
-    rng = _random.Random(f"forum:{seed}:{vertical}")
+    rng = derive_rng("forum", seed, vertical)
     stems = _TAIL_STEMS.get(vertical, ("consumer",))
     records = []
     seen: set[str] = set()

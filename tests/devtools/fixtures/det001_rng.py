@@ -1,0 +1,28 @@
+"""DET001 fixture: ad-hoc RNG use vs. the derive_seed discipline."""
+import random
+import random as _aliased
+from random import Random
+from random import Random as RenamedRandom
+
+from repro.llm.rng import derive_rng, derive_seed
+
+seed = 7
+
+# --- positives -------------------------------------------------------
+value = random.random()  # expect[DET001]
+random.shuffle([1, 2, 3])  # expect[DET001]
+pick = random.choice("abc")  # expect[DET001]
+rng_plain = random.Random(seed)  # expect[DET001]
+rng_repr = random.Random((seed, "q", 3).__repr__())  # expect[DET001]
+rng_aliased = _aliased.Random(seed)  # expect[DET001]
+rng_from = Random(seed)  # expect[DET001]
+rng_renamed = RenamedRandom(seed)  # expect[DET001]
+rng_sys = random.SystemRandom()  # expect[DET001]
+rng_kw = random.Random(x=seed)  # expect[DET001]
+
+# --- negatives -------------------------------------------------------
+good_rng = derive_rng("study", seed, "query")
+good_seeded = random.Random(derive_seed("study", seed))
+good_from = Random(derive_seed("study", seed))
+instance_draw = good_rng.random()  # method on an instance, not the module
+annotated: random.Random = good_rng

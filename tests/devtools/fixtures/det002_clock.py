@@ -1,0 +1,22 @@
+"""DET002 fixture: wall-clock reads."""
+import datetime
+import datetime as dt
+import time
+from datetime import date, datetime as datetime_cls
+from time import time as time_fn
+
+# --- positives -------------------------------------------------------
+now_s = time.time()  # expect[DET002]
+now_mono = time.monotonic()  # expect[DET002]
+now_perf = time.perf_counter()  # expect[DET002]
+now_dt = datetime.datetime.now()  # expect[DET002]
+now_utc = dt.datetime.utcnow()  # expect[DET002]
+today = date.today()  # expect[DET002]
+now_cls = datetime_cls.now()  # expect[DET002]
+now_from = time_fn()  # expect[DET002]
+
+# --- negatives -------------------------------------------------------
+fixed = datetime.date(2025, 6, 1)  # an explicit date is deterministic
+stamp = datetime.datetime(2025, 6, 1, 12, 0)
+time.sleep(0)  # sleeping reads no clock value into results
+parsed = datetime.datetime.fromisoformat("2025-06-01T00:00:00")

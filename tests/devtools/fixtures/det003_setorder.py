@@ -1,0 +1,34 @@
+"""DET003 fixture: set iteration order leaking into ordered output."""
+
+items = ["b", "a", "c", "a"]
+other = {"c", "d"}
+
+# --- positives -------------------------------------------------------
+for item in set(items):  # expect[DET003]
+    print(item)
+
+for item in {"x", "y"}:  # expect[DET003]
+    print(item)
+
+joined = ",".join(set(items))  # expect[DET003]
+as_list = list(frozenset(items))  # expect[DET003]
+as_tuple = tuple({"x", "y"})  # expect[DET003]
+listed_comp = [x for x in set(items)]  # expect[DET003]
+gen_total = "/".join(x for x in {"p", "q"})  # expect[DET003]
+union_loop = list(set(items) | other)  # expect[DET003]
+method_union = list(set(items).union(other))  # expect[DET003]
+numbered = list(enumerate({"x", "y"}))  # expect[DET003]
+
+# --- negatives -------------------------------------------------------
+for item in sorted(set(items)):
+    print(item)
+
+ordered = sorted({"x", "y"})
+total = sum({1, 2, 3})  # order-insensitive aggregate
+size = len(set(items))
+biggest = max({3, 1, 2})
+reset = {x for x in set(items)}  # set -> set keeps it unordered, no leak
+keyed = {x: 1 for x in set(items)}  # dict comp rebuilds; flagged at use, not build
+deduped = list(dict.fromkeys(items))  # insertion-ordered dedup, deterministic
+for key in {"a": 1, "b": 2}:  # dict iteration is insertion-ordered (3.7+)
+    print(key)

@@ -1,0 +1,18 @@
+"""DET004 fixture: builtin hash() is PYTHONHASHSEED-salted."""
+import hashlib
+
+from repro.llm.rng import derive_seed
+
+# --- positives -------------------------------------------------------
+bucket = hash("entity:acme") % 8  # expect[DET004]
+mixed = hash(b"payload")  # expect[DET004]
+indirect = hash(("a", "b"))  # tuples of str are salted too  # expect[DET004]
+
+# --- negatives -------------------------------------------------------
+stable = derive_seed("entity:acme") % 8
+digest = hashlib.sha256(b"payload").hexdigest()
+
+
+class Entity:
+    def __hash__(self) -> int:  # defining __hash__ is not calling hash()
+        return 0

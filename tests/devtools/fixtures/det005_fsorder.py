@@ -1,0 +1,20 @@
+"""DET005 fixture: filesystem enumeration order."""
+import glob
+import os
+from pathlib import Path
+
+root = Path("results")
+
+# --- positives -------------------------------------------------------
+names = os.listdir(".")  # expect[DET005]
+entries = os.scandir(".")  # expect[DET005]
+matched = glob.glob("*.json")  # expect[DET005]
+children = root.iterdir()  # expect[DET005]
+deep = Path(".").rglob("*.py")  # expect[DET005]
+patterned = root.glob("*.json")  # expect[DET005]
+
+# --- negatives -------------------------------------------------------
+sorted_names = sorted(os.listdir("."))
+sorted_deep = sorted(Path(".").rglob("*.py"))
+sorted_matches = sorted(root.glob("*.json"), key=str)
+joined = os.path.join("a", "b")  # os.path is not enumeration

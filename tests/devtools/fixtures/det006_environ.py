@@ -1,0 +1,14 @@
+"""DET006 fixture: ambient environment reads outside repro.core.config."""
+import os
+from os import environ, getenv
+
+# --- positives -------------------------------------------------------
+workers = os.environ.get("REPRO_WORKERS", "1")  # expect[DET006]
+home = os.environ["HOME"]  # expect[DET006]
+debug = os.getenv("DEBUG")  # expect[DET006]
+from_import = environ.get("PATH")  # expect[DET006]
+from_getenv = getenv("PATH")  # expect[DET006]
+
+# --- negatives -------------------------------------------------------
+cpus = os.cpu_count()  # machine introspection, not environment config
+path = os.path.sep

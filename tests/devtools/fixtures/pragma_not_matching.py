@@ -1,0 +1,12 @@
+"""Pragma fixture: waivers that must NOT suppress the finding."""
+import random
+
+seed = 3
+
+wrong_code = random.Random(seed)  # detlint: ignore[DET002] -- wrong rule  # expect[DET001]
+
+# detlint: ignore[DET001] -- comment on the line above does not waive
+next_line = random.Random(seed)  # expect[DET001]
+
+in_string = random.Random(seed)  # expect[DET001]
+TEXT = "this string mentions # detlint: ignore[DET001] but is not a comment"

@@ -1,0 +1,14 @@
+"""Pragma fixture: every finding here is waived inline."""
+import os
+import random
+import time
+
+seed = 3
+
+rng = random.Random(seed)  # detlint: ignore[DET001] -- fixture waiver
+started = time.time()  # detlint: ignore[DET002] -- fixture waiver
+flag = os.getenv("FLAG")  # detlint: ignore -- bare pragma waives every rule
+both = random.Random(hash("x"))  # detlint: ignore[DET001,DET004] -- two codes
+spanning = random.Random(
+    seed
+)  # detlint: ignore[DET001] -- pragma on the statement's last line

@@ -1,0 +1,5 @@
+# detlint: skip-file -- generated-file escape hatch; nothing here counts
+import random
+
+anything = random.random()
+clockish = __import__("time").time()

@@ -1,0 +1,125 @@
+"""detlint rule tests, driven by the fixture files.
+
+Each fixture marks every line that must produce a finding with an
+``# expect[DETnnn]`` comment; the harness asserts the linter produces
+*exactly* the marked findings — so both false negatives (a positive
+case the rule misses) and false positives (a negative case it flags)
+fail the same assertion.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.detlint import lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_EXPECT_RE = re.compile(r"#\s*expect\[([A-Z0-9,]+)\]")
+
+
+def expected_findings(source: str) -> set[tuple[int, str]]:
+    expected = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _EXPECT_RE.search(line)
+        if match:
+            for code in match.group(1).split(","):
+                expected.add((lineno, code))
+    return expected
+
+
+def lint_fixture(name: str):
+    path = FIXTURES / name
+    source = path.read_text(encoding="utf-8")
+    return source, lint_source(source, path)
+
+
+RULE_FIXTURES = [
+    ("DET001", "det001_rng.py"),
+    ("DET002", "det002_clock.py"),
+    ("DET003", "det003_setorder.py"),
+    ("DET004", "det004_hash.py"),
+    ("DET005", "det005_fsorder.py"),
+    ("DET006", "det006_environ.py"),
+]
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize("code,fixture", RULE_FIXTURES)
+    def test_exact_findings(self, code, fixture):
+        source, findings = lint_fixture(fixture)
+        expected = expected_findings(source)
+        assert expected, f"fixture {fixture} has no expect markers"
+        actual = {(f.line, f.rule) for f in findings if not f.waived}
+        assert actual == expected
+
+    @pytest.mark.parametrize("code,fixture", RULE_FIXTURES)
+    def test_rule_has_failing_case(self, code, fixture):
+        """Acceptance: every rule is demonstrated by a failing fixture."""
+        __, findings = lint_fixture(fixture)
+        assert any(f.rule == code and f.blocking for f in findings)
+
+
+class TestPragmas:
+    def test_all_findings_waived(self):
+        __, findings = lint_fixture("pragma_waivers.py")
+        assert findings, "waiver fixture must still produce findings"
+        assert all(f.waived for f in findings)
+        assert not any(f.blocking for f in findings)
+        # The two-code pragma waived two distinct rules on one line.
+        waived_rules = {f.rule for f in findings}
+        assert {"DET001", "DET002", "DET004", "DET006"} <= waived_rules
+
+    def test_non_matching_pragmas_do_not_waive(self):
+        source, findings = lint_fixture("pragma_not_matching.py")
+        expected = expected_findings(source)
+        actual = {(f.line, f.rule) for f in findings if f.blocking}
+        assert actual == expected
+
+    def test_skip_file(self):
+        __, findings = lint_fixture("skip_file.py")
+        assert findings == []
+
+
+class TestModuleExemptions:
+    def test_rng_module_is_exempt_from_det001(self, tmp_path):
+        target = tmp_path / "repro" / "llm" / "rng.py"
+        target.parent.mkdir(parents=True)
+        source = "import random\nrng = random.Random(0)\n"
+        assert lint_source(source, target) == []
+        # The same source anywhere else is a finding.
+        elsewhere = tmp_path / "repro" / "llm" / "other.py"
+        assert [f.rule for f in lint_source(source, elsewhere)] == ["DET001"]
+
+    def test_config_module_is_exempt_from_det006(self, tmp_path):
+        target = tmp_path / "repro" / "core" / "config.py"
+        target.parent.mkdir(parents=True)
+        source = 'import os\nraw = os.environ.get("REPRO_WORKERS", "")\n'
+        assert lint_source(source, target) == []
+        elsewhere = tmp_path / "repro" / "core" / "runner.py"
+        assert [f.rule for f in lint_source(source, elsewhere)] == ["DET006"]
+
+    def test_unparseable_file_reports_det000(self):
+        findings = lint_source("def broken(:\n", "bad.py")
+        assert [f.rule for f in findings] == ["DET000"]
+        assert findings[0].blocking
+
+
+class TestFindingModel:
+    def test_findings_sorted_and_keyed(self):
+        __, findings = lint_fixture("det001_rng.py")
+        assert findings == sorted(findings)
+        first = findings[0]
+        assert first.key().endswith(f"::{first.rule}::{first.snippet}")
+        assert str(first.line) in first.location()
+
+    def test_to_dict_roundtrips_fields(self):
+        __, findings = lint_fixture("det004_hash.py")
+        payload = findings[0].to_dict()
+        assert payload["rule"] == "DET004"
+        assert payload["path"].endswith("det004_hash.py")
+        assert set(payload) == {
+            "path", "line", "col", "rule", "message",
+            "snippet", "waived", "baselined",
+        }

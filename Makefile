@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint bench bench-paper study calibrate stability examples clean
+.PHONY: install test lint detlint conclint lint-baseline conclint-baseline bench bench-paper study calibrate stability examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -8,11 +8,19 @@ install:
 test:
 	pytest tests/
 
-lint:
+lint: detlint conclint
+
+detlint:
 	python -m repro lint
+
+conclint:
+	python -m repro conclint
 
 lint-baseline:
 	python -m repro lint --update-baseline
+
+conclint-baseline:
+	python -m repro conclint --update-baseline
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -15,6 +15,8 @@ Subcommands:
 * ``snapshot PATH`` — archive the world's corpus as a JSON-lines file.
 * ``lint`` — run detlint, the determinism & reproducibility linter,
   over the library source (see :mod:`repro.devtools.detlint`).
+* ``conclint`` — run the interprocedural concurrency-safety analyzer
+  over the library source (see :mod:`repro.devtools.conclint`).
 """
 
 from __future__ import annotations
@@ -136,6 +138,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "lint", help="run the determinism linter over the library source"
     )
     configure_lint(lint)
+
+    from repro.devtools.conclint.cli import configure_parser as configure_conclint
+
+    conclint = sub.add_parser(
+        "conclint",
+        help="run the interprocedural concurrency-safety analyzer",
+    )
+    configure_conclint(conclint)
     return parser
 
 
@@ -286,6 +296,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.devtools.detlint.cli import run_lint
 
         return run_lint(args)
+    if args.command == "conclint":
+        from repro.devtools.conclint.cli import run_conclint
+
+        return run_conclint(args)
     return _cmd_run(args)
 
 

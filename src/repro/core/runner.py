@@ -285,33 +285,42 @@ class StudyRunner:
 
         futures: dict[str, list[Future]] = {}
         if use_processes:
+            # The one allowlisted shared-global write (see conclint
+            # CONC001): publish the world for fork inheritance, retract
+            # it in the outermost finally no matter what fails.
             _WORKER_WORLD = self._world
-            pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=multiprocessing.get_context("fork"),
-            )
-        else:
-            pool = ThreadPoolExecutor(max_workers=self.workers)
         try:
-            for name in engines:
-                if use_processes:
-                    futures[name] = [
-                        pool.submit(_answer_chunk, name, chunk)
-                        for chunk in chunks
-                    ]
-                else:
-                    futures[name] = [
-                        pool.submit(engines[name].answer_all, chunk)
-                        for chunk in chunks
-                    ]
-            # Reassembly in submission order — not completion order —
-            # is what makes the output independent of scheduling.
-            results = {
-                name: [answer for future in futs for answer in future.result()]
-                for name, futs in futures.items()
-            }
+            # Pool creation sits inside the try: if it fails (fd/process
+            # limits), the handshake global must still be retracted, or
+            # a stale world would leak into every later fork.
+            if use_processes:
+                pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=multiprocessing.get_context("fork"),
+                )
+            else:
+                pool = ThreadPoolExecutor(max_workers=self.workers)
+            try:
+                for name in engines:
+                    if use_processes:
+                        futures[name] = [
+                            pool.submit(_answer_chunk, name, chunk)
+                            for chunk in chunks
+                        ]
+                    else:
+                        futures[name] = [
+                            pool.submit(engines[name].answer_all, chunk)
+                            for chunk in chunks
+                        ]
+                # Reassembly in submission order — not completion order —
+                # is what makes the output independent of scheduling.
+                results = {
+                    name: [answer for future in futs for answer in future.result()]
+                    for name, futs in futures.items()
+                }
+            finally:
+                pool.shutdown()
         finally:
-            pool.shutdown()
             if use_processes:
                 _WORKER_WORLD = None
         self.stats.count_pool_work(

@@ -1,0 +1,88 @@
+"""conclint orchestration: index, call graph, rules, waivers, baseline.
+
+The pipeline is whole-program where detlint's is per-file:
+
+1. parse every module under the analyzed roots into a
+   :class:`~repro.devtools.conclint.symbols.ProjectIndex`;
+2. build the approximate call graph and compute the worker-reachable
+   set (:mod:`repro.devtools.conclint.callgraph`);
+3. run each CONC rule over its scope (worker-reachable functions, or
+   everything for the parent-side rule);
+4. apply ``# conclint: ignore[...]`` pragmas and the
+   ``.conclint-baseline.json`` baseline — the exact detlint machinery,
+   re-parameterized.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools.conclint.callgraph import CallGraph, build_callgraph
+from repro.devtools.conclint.rules import AnalysisContext, all_conc_rules
+from repro.devtools.conclint.symbols import ProjectIndex
+from repro.devtools.detlint.baseline import apply_baseline, load_baseline
+from repro.devtools.detlint.findings import Finding
+from repro.devtools.detlint.pragmas import apply_waivers
+from repro.devtools.detlint.runner import (
+    DEFAULT_PATHS,
+    LintReport,
+    iter_python_files,
+)
+
+__all__ = ["AnalysisResult", "analyze_paths"]
+
+
+class AnalysisResult(LintReport):
+    """A lint report plus the call graph it was computed against."""
+
+    def __init__(self, findings, files_checked: int, graph: CallGraph) -> None:
+        super().__init__(findings=findings, files_checked=files_checked)
+        self.graph = graph
+
+
+def analyze_paths(
+    paths: list[str | Path] | None = None,
+    baseline: str | Path | None = None,
+) -> AnalysisResult:
+    """Analyze files/trees and apply the baseline; the main entry point."""
+    targets = list(paths) if paths else [Path(p) for p in DEFAULT_PATHS]
+    files = iter_python_files(targets)
+    index = ProjectIndex.build(files)
+    graph = build_callgraph(index)
+    actx = AnalysisContext(index=index, graph=graph)
+
+    findings: list[Finding] = []
+    for display_path in sorted(index.broken):
+        exc = index.broken[display_path]
+        findings.append(
+            Finding(
+                path=display_path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                rule="CONC000",
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+    for rule_cls in all_conc_rules():
+        findings.extend(rule_cls(actx).run())
+    findings.sort()
+
+    # Pragma waivers, per module (skip-file was already honoured by the
+    # rules; waivers need each module's own pragma table).
+    by_path = {
+        minfo.path: minfo.pragmas for minfo in index.modules.values()
+    }
+    waived: list[Finding] = []
+    for finding in findings:
+        pragmas = by_path.get(finding.path)
+        if pragmas is None:
+            waived.append(finding)
+        else:
+            waived.extend(apply_waivers([finding], pragmas))
+    findings = waived
+
+    base_dir = Path(baseline).resolve().parent if baseline is not None else None
+    findings = apply_baseline(findings, load_baseline(baseline), base_dir)
+    return AnalysisResult(
+        findings=findings, files_checked=len(files), graph=graph
+    )

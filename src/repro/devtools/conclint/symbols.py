@@ -1,0 +1,401 @@
+"""Project-wide symbol table: modules, functions, classes, globals.
+
+conclint reasons about the *whole program*, so before any rule runs it
+builds an index of every module under the analyzed roots:
+
+* every function and method, keyed by qualified name
+  (``repro.core.runner._answer_chunk``,
+  ``repro.engines.base.AnswerEngine.answer``), including nested
+  functions (``module.outer.inner``) with a parent link — closures are
+  how fork-unsafe state sneaks across the worker boundary;
+* every class with its *resolved* base names, so the engine hierarchy
+  (``ClaudeEngine -> GenerativeEngine -> AnswerEngine``) is walkable
+  even across modules and import aliases;
+* every module-level binding, classified by what kind of shared state it
+  is: ``mutable`` (dicts/lists/sets and their collection cousins),
+  ``resource`` (open file handles, locks, executors — fork-unsafe),
+  ``rng`` (``random.Random`` / ``derive_rng`` instances, whose draw
+  order is shared mutable state), or ``other``.
+
+Name resolution reuses detlint's :class:`ModuleContext` — aliased
+imports cannot hide a symbol from the index any more than they can hide
+a call from detlint's rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.detlint.context import (
+    ModuleContext,
+    collect_imports,
+    module_name_for,
+)
+from repro.devtools.detlint.pragmas import Pragmas, parse_pragmas
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "GlobalVar",
+    "ModuleInfo",
+    "ProjectIndex",
+    "classify_value",
+    "iter_own_nodes",
+]
+
+
+def iter_own_nodes(node: ast.AST) -> "list[ast.AST]":
+    """Every AST node belonging to ``node`` itself, in source order,
+    *excluding* the bodies of nested function/class definitions (which
+    are separate analysis units with their own qualified names).
+    Lambdas stay included: they have no name of their own, so their
+    bodies are attributed to the enclosing function.
+    """
+    collected: list[ast.AST] = []
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop(0)
+        collected.append(child)
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+    return collected
+
+#: Constructors whose product is shared *mutable* state when bound at
+#: module level.
+_MUTABLE_CTORS = frozenset(
+    {
+        "dict",
+        "list",
+        "set",
+        "collections.defaultdict",
+        "collections.Counter",
+        "collections.deque",
+        "collections.OrderedDict",
+    }
+)
+
+#: Constructors whose product must never be captured into a forked
+#: worker: OS-level handles and synchronization primitives duplicate
+#: incoherently across fork, and executors deadlock.
+_RESOURCE_CTORS = frozenset(
+    {
+        "open",
+        "io.open",
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "threading.Event",
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.ThreadPoolExecutor",
+        "concurrent.futures.process.ProcessPoolExecutor",
+        "concurrent.futures.thread.ThreadPoolExecutor",
+        "multiprocessing.Pool",
+        "multiprocessing.Lock",
+    }
+)
+
+#: Constructors of stateful random streams.  A module-level instance is
+#: shared mutable state (every draw advances it), which is exactly what
+#: must not cross the worker boundary.
+_RNG_CTORS = frozenset({"random.Random", "repro.llm.rng.derive_rng"})
+
+
+def classify_value(node: ast.expr | None, ctx: ModuleContext) -> str:
+    """Classify a module-level binding's value expression."""
+    if node is None:
+        return "other"
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)):
+        return "mutable"
+    if isinstance(node, ast.Call):
+        resolved = ctx.resolve(node.func)
+        if resolved is None and isinstance(node.func, ast.Name):
+            # Builtins are not imported, so resolve() stays silent.
+            resolved = node.func.id
+        if resolved in _RESOURCE_CTORS:
+            return "resource"
+        if resolved in _RNG_CTORS or (
+            isinstance(node.func, ast.Name) and node.func.id == "derive_rng"
+        ):
+            return "rng"
+        if resolved in _MUTABLE_CTORS:
+            return "mutable"
+    return "other"
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, with enough context to check it."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    lineno: int
+    #: Qualified name of the owning class, or ``None`` for plain functions.
+    cls: str | None = None
+    #: Qualified name of the enclosing function for nested defs.
+    parent: str | None = None
+    #: name -> qualname of functions defined directly inside this one.
+    nested: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ClassInfo:
+    """One class definition and its resolved bases."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    #: Base names resolved to dotted paths where imports allow, else the
+    #: raw source spelling.
+    bases: tuple[str, ...] = ()
+    #: method name -> function qualname.
+    methods: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class GlobalVar:
+    """One module-level binding."""
+
+    qualname: str
+    module: str
+    name: str
+    kind: str
+    lineno: int
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the analyzer knows about one module."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    ctx: ModuleContext
+    pragmas: Pragmas
+    #: top-level function name -> qualname.
+    functions: dict[str, str] = field(default_factory=dict)
+    #: class name -> qualname.
+    classes: dict[str, str] = field(default_factory=dict)
+    #: module-level binding name -> GlobalVar.
+    globals: dict[str, GlobalVar] = field(default_factory=dict)
+
+
+def _assign_targets(stmt: ast.stmt) -> list[tuple[str, ast.expr | None]]:
+    """(name, value) pairs bound at module level by one statement."""
+    pairs: list[tuple[str, ast.expr | None]] = []
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                pairs.append((target.id, stmt.value))
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    if isinstance(element, ast.Name):
+                        pairs.append((element.id, None))
+    elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+        pairs.append((stmt.target.id, stmt.value))
+    return pairs
+
+
+class ProjectIndex:
+    """Symbol tables for every analyzed module, cross-referenced."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: module-level binding qualname -> GlobalVar, across all modules.
+        self.globals: dict[str, GlobalVar] = {}
+        #: files that failed to parse: path -> SyntaxError.
+        self.broken: dict[str, SyntaxError] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    @classmethod
+    def build(cls, files: list[Path]) -> "ProjectIndex":
+        index = cls()
+        for file_path in files:
+            index.add_module(file_path.read_text(encoding="utf-8"), file_path)
+        return index
+
+    def add_module(self, source: str, path: str | Path) -> ModuleInfo | None:
+        display = str(path)
+        module = module_name_for(Path(display).parts)
+        try:
+            tree = ast.parse(source, filename=display)
+        except SyntaxError as exc:
+            self.broken[display] = exc
+            return None
+        ctx = ModuleContext(
+            path=display,
+            module=module,
+            source_lines=source.splitlines(),
+            imports=collect_imports(tree, module),
+        )
+        info = ModuleInfo(
+            path=display,
+            module=module,
+            tree=tree,
+            ctx=ctx,
+            pragmas=parse_pragmas(source, tool="conclint"),
+        )
+        self.modules[module] = info
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(info, stmt, prefix=module)
+            elif isinstance(stmt, ast.ClassDef):
+                self._add_class(info, stmt)
+            else:
+                for name, value in _assign_targets(stmt):
+                    var = GlobalVar(
+                        qualname=f"{module}.{name}",
+                        module=module,
+                        name=name,
+                        kind=classify_value(value, ctx),
+                        lineno=stmt.lineno,
+                    )
+                    info.globals[name] = var
+                    self.globals[var.qualname] = var
+        return info
+
+    def _add_function(
+        self,
+        info: ModuleInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        prefix: str,
+        cls: str | None = None,
+        parent: FunctionInfo | None = None,
+    ) -> FunctionInfo:
+        qualname = f"{prefix}.{node.name}"
+        fn = FunctionInfo(
+            qualname=qualname,
+            module=info.module,
+            name=node.name,
+            node=node,
+            lineno=node.lineno,
+            cls=cls,
+            parent=parent.qualname if parent else None,
+        )
+        self.functions[qualname] = fn
+        if parent is not None:
+            parent.nested[node.name] = qualname
+        elif cls is None:
+            info.functions[node.name] = qualname
+        # Nested defs get their own entries: a closure submitted to a
+        # pool is a worker entry point in its own right.
+        for child in iter_own_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(info, child, prefix=qualname, parent=fn)
+        return fn
+
+    def _add_class(self, info: ModuleInfo, node: ast.ClassDef) -> None:
+        qualname = f"{info.module}.{node.name}"
+        bases = []
+        for base in node.bases:
+            resolved = info.ctx.resolve(base)
+            if resolved is None and isinstance(base, ast.Name):
+                # A base defined in the same module.
+                local = info.classes.get(base.id)
+                resolved = local or base.id
+            bases.append(resolved or ast.unparse(base))
+        cls_info = ClassInfo(
+            qualname=qualname,
+            module=info.module,
+            name=node.name,
+            node=node,
+            bases=tuple(bases),
+        )
+        self.classes[qualname] = cls_info
+        info.classes[node.name] = qualname
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._add_function(info, stmt, prefix=qualname, cls=qualname)
+                cls_info.methods[stmt.name] = fn.qualname
+
+    # ------------------------------------------------------------------
+    # Lookups
+
+    def ancestors(self, class_qualname: str) -> list[str]:
+        """Resolved base-class names, transitively, in-project or not."""
+        seen: list[str] = []
+        frontier = [class_qualname]
+        while frontier:
+            current = frontier.pop(0)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            for base in info.bases:
+                if base not in seen:
+                    seen.append(base)
+                    frontier.append(base)
+        return seen
+
+    def descendants(self, class_qualname: str) -> list[str]:
+        """In-project classes that (transitively) inherit from this one."""
+        found: list[str] = []
+        changed = True
+        covered = {class_qualname}
+        while changed:
+            changed = False
+            for name in sorted(self.classes):
+                if name in covered:
+                    continue
+                if any(base in covered for base in self.classes[name].bases):
+                    covered.add(name)
+                    found.append(name)
+                    changed = True
+        return found
+
+    def class_family(self, class_qualname: str) -> list[str]:
+        """The class, its ancestors, and every descendant of any of them.
+
+        ``self.method(...)`` can dispatch anywhere in this set — that is
+        the over-approximation that makes ``AnswerEngine.answer`` reach
+        every engine's ``_answer_uncached``.
+        """
+        roots = [class_qualname, *self.ancestors(class_qualname)]
+        family: list[str] = []
+        for root in roots:
+            if root in self.classes and root not in family:
+                family.append(root)
+            for descendant in self.descendants(root):
+                if descendant not in family:
+                    family.append(descendant)
+        return family
+
+    def methods_named(self, name: str) -> list[str]:
+        """Every project method with this name, across all classes."""
+        return [
+            info.methods[name]
+            for __, info in sorted(self.classes.items())
+            if name in info.methods
+        ]
+
+    def resolve_global(
+        self, node: ast.expr, minfo: ModuleInfo
+    ) -> GlobalVar | None:
+        """The module-level binding an expression refers to, if any.
+
+        Handles bare names in the same module and dotted/imported
+        references to other analyzed modules.
+        """
+        if isinstance(node, ast.Name):
+            var = minfo.globals.get(node.id)
+            if var is not None:
+                return var
+            imported = minfo.ctx.imports.get(node.id)
+            if imported is not None:
+                return self.globals.get(imported)
+            return None
+        if isinstance(node, ast.Attribute):
+            resolved = minfo.ctx.resolve(node)
+            if resolved is not None:
+                return self.globals.get(resolved)
+        return None

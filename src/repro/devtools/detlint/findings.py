@@ -27,6 +27,11 @@ class Finding:
     #: Last physical line of the flagged expression (pragmas anywhere in
     #: the statement's line range waive it).
     end_line: int = field(default=0, compare=False)
+    #: First physical line of the enclosing *statement*.  A violation
+    #: deep inside a multi-line statement is reported at its own line,
+    #: but the natural place for the waiver comment is the line the
+    #: statement starts on — pragma lookup honours both anchors.
+    stmt_line: int = field(default=0, compare=False)
     #: Suppressed by an inline ``# detlint: ignore[...]`` pragma.
     waived: bool = field(default=False, compare=False)
     #: Grandfathered by the checked-in baseline file.

@@ -8,6 +8,11 @@ A bare ``# detlint: ignore`` waives every rule on that line; a
 ``# detlint: skip-file`` comment anywhere in the file skips it entirely.
 Comments are extracted with :mod:`tokenize`, so pragma-shaped text inside
 string literals is never mistaken for a waiver.
+
+The pragma prefix is the *tool name* — :mod:`repro.devtools.conclint`
+reuses this parser with ``tool="conclint"``, so ``# conclint:
+ignore[CONC002] -- reason`` works identically without the two linters'
+waivers shadowing each other.
 """
 
 from __future__ import annotations
@@ -15,14 +20,25 @@ from __future__ import annotations
 import io
 import re
 import tokenize
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
-__all__ = ["Pragmas", "parse_pragmas"]
+from repro.devtools.detlint.findings import Finding
 
-_PRAGMA_RE = re.compile(
-    r"#\s*detlint:\s*(?P<kind>ignore|skip-file)"
-    r"(?:\[(?P<codes>[A-Z0-9,\s]+)\])?"
-)
+__all__ = ["Pragmas", "apply_waivers", "parse_pragmas"]
+
+#: Compiled pragma patterns, one per tool name ("detlint", "conclint").
+_PRAGMA_RES: dict[str, re.Pattern[str]] = {}
+
+
+def _pragma_re(tool: str) -> re.Pattern[str]:
+    pattern = _PRAGMA_RES.get(tool)
+    if pattern is None:
+        pattern = re.compile(
+            rf"#\s*{re.escape(tool)}:\s*(?P<kind>ignore|skip-file)"
+            r"(?:\[(?P<codes>[A-Z0-9,\s]+)\])?"
+        )
+        _PRAGMA_RES[tool] = pattern
+    return pattern
 
 #: Sentinel meaning "waive every rule on this line".
 ALL_RULES = "*"
@@ -43,17 +59,40 @@ class Pragmas:
                 return True
         return False
 
+    def waives_finding(self, finding: Finding) -> bool:
+        """Whether a pragma covers ``finding``.
 
-def parse_pragmas(source: str) -> Pragmas:
+        Both anchors count: any line in the flagged node's own span, and
+        the first line of the enclosing statement — so a violation deep
+        inside a multi-line statement can be waived on the line where
+        the statement (and typically the reader's attention) starts.
+        """
+        if self.waives(finding.rule, finding.line, finding.end_line):
+            return True
+        return bool(finding.stmt_line) and self.waives(
+            finding.rule, finding.stmt_line, finding.stmt_line
+        )
+
+
+def apply_waivers(findings: list[Finding], pragmas: Pragmas) -> list[Finding]:
+    """Mark pragma-covered findings as waived."""
+    return [
+        replace(f, waived=True) if pragmas.waives_finding(f) else f
+        for f in findings
+    ]
+
+
+def parse_pragmas(source: str, tool: str = "detlint") -> Pragmas:
     pragmas = Pragmas()
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, IndentationError, SyntaxError):
         return pragmas
+    pattern = _pragma_re(tool)
     for token in tokens:
         if token.type != tokenize.COMMENT:
             continue
-        match = _PRAGMA_RE.search(token.string)
+        match = pattern.search(token.string)
         if match is None:
             continue
         if match.group("kind") == "skip-file":

@@ -57,6 +57,7 @@ class Rule(ast.NodeVisitor):
     def __init__(self, ctx: ModuleContext) -> None:
         self.ctx = ctx
         self.findings: list[Finding] = []
+        self._stmt_lines: list[int] = []
 
     @classmethod
     def applies_to(cls, module: str) -> bool:
@@ -64,6 +65,20 @@ class Rule(ast.NodeVisitor):
             module == exempt or module.startswith(exempt + ".")
             for exempt in cls.exempt_modules
         )
+
+    def visit(self, node: ast.AST):
+        # Track the enclosing-statement stack so report() can anchor
+        # pragma lookup to the statement's first line as well as the
+        # violating node's own lines (multi-line statements report deep
+        # inside themselves; the waiver belongs where the statement
+        # starts).
+        if isinstance(node, ast.stmt):
+            self._stmt_lines.append(node.lineno)
+            try:
+                return super().visit(node)
+            finally:
+                self._stmt_lines.pop()
+        return super().visit(node)
 
     def report(self, node: ast.AST, message: str) -> None:
         line = getattr(node, "lineno", 0)
@@ -76,6 +91,7 @@ class Rule(ast.NodeVisitor):
                 message=message,
                 snippet=self.ctx.snippet(line),
                 end_line=getattr(node, "end_lineno", line) or line,
+                stmt_line=self._stmt_lines[-1] if self._stmt_lines else line,
             )
         )
 

@@ -17,11 +17,14 @@ def _status(finding) -> str:
     return ""
 
 
-def render_text(report: LintReport, *, verbose: bool = False) -> str:
+def render_text(
+    report: LintReport, *, verbose: bool = False, tool: str = "detlint"
+) -> str:
     """Human-readable report: one line per finding plus a summary.
 
     Waived findings are hidden unless ``verbose``; baselined ones are
     always shown (they are debt, and debt should stay visible).
+    ``tool`` labels the summary line — conclint reuses this renderer.
     """
     lines = []
     for finding in report.findings:
@@ -34,7 +37,7 @@ def render_text(report: LintReport, *, verbose: bool = False) -> str:
             lines.append(f"    {finding.snippet}")
     s = report.summary()
     lines.append(
-        f"detlint: {s['files']} files, {s['findings']} findings "
+        f"{tool}: {s['files']} files, {s['findings']} findings "
         f"({s['blocking']} blocking, {s['baselined']} baselined, "
         f"{s['waived']} waived)"
     )

@@ -3,13 +3,13 @@
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.devtools.detlint.baseline import apply_baseline, load_baseline
 from repro.devtools.detlint.context import ModuleContext, collect_imports, module_name_for
 from repro.devtools.detlint.findings import Finding
-from repro.devtools.detlint.pragmas import parse_pragmas
+from repro.devtools.detlint.pragmas import apply_waivers, parse_pragmas
 from repro.devtools.detlint.registry import all_rules
 
 # Rule modules register themselves on import.
@@ -92,12 +92,7 @@ def lint_source(source: str, path: str | Path = "<string>") -> list[Finding]:
             continue
         findings.extend(rule_cls(ctx).run(tree))
     findings.sort()
-    return [
-        replace(f, waived=True)
-        if pragmas.waives(f.rule, f.line, f.end_line)
-        else f
-        for f in findings
-    ]
+    return apply_waivers(findings, pragmas)
 
 
 def iter_python_files(paths: list[str | Path]) -> list[Path]:

@@ -104,10 +104,11 @@ class AnswerEngine(abc.ABC):
         if cache is None:
             return self._answer_uncached(query)
         key = self._cache_key(query)
-        cached = cache.get(key)
-        if cached is not None:
-            self._cache_hits += 1
-            return cached
+        with self._cache_lock:
+            cached = cache.get(key)
+            if cached is not None:
+                self._cache_hits += 1
+                return cached
         answer = self._answer_uncached(query)
         # Insert first, trim after: a present key is never grounds for
         # eviction, and the cache holds exactly cache_limit entries at

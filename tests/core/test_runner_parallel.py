@@ -63,6 +63,48 @@ class TestParallelDeterminism:
         assert sequential == parallel
 
 
+def _explode_chunk(engine_name, queries):
+    """Module-level (picklable) stand-in for a crashing worker chunk."""
+    raise RuntimeError("chunk exploded")
+
+
+class TestWorkerWorldHandshake:
+    """_WORKER_WORLD must never outlive the pool, even on failure."""
+
+    def _queries(self, world):
+        from repro.entities.queries import ranking_queries
+
+        return ranking_queries(world.catalog, count=4, seed=23)
+
+    def test_reset_after_successful_run(self, tiny_world):
+        import repro.core.runner as runner_module
+
+        runner = StudyRunner(tiny_world, workers=2, executor="process")
+        runner.answers(self._queries(tiny_world))
+        assert runner_module._WORKER_WORLD is None
+
+    def test_reset_when_a_worker_chunk_raises(self, tiny_world, monkeypatch):
+        import repro.core.runner as runner_module
+
+        monkeypatch.setattr(runner_module, "_answer_chunk", _explode_chunk)
+        runner = StudyRunner(tiny_world, workers=2, executor="process")
+        with pytest.raises(RuntimeError, match="chunk exploded"):
+            runner.answers(self._queries(tiny_world))
+        assert runner_module._WORKER_WORLD is None
+
+    def test_reset_when_pool_creation_fails(self, tiny_world, monkeypatch):
+        import repro.core.runner as runner_module
+
+        def _no_pool(*args, **kwargs):
+            raise OSError("process limit reached")
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", _no_pool)
+        runner = StudyRunner(tiny_world, workers=2, executor="process")
+        with pytest.raises(OSError, match="process limit reached"):
+            runner.answers(self._queries(tiny_world))
+        assert runner_module._WORKER_WORLD is None
+
+
 class TestEvidenceCache:
     def test_tables_share_contexts_with_zero_duplicate_retrievals(
         self, tiny_world

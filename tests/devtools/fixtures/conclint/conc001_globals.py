@@ -1,0 +1,49 @@
+"""CONC001 fixture: module-global mutation from worker-reachable code.
+
+``fan_out`` submits the leading underscore functions to a pool, which
+makes them worker-reachable entry points; every marked line mutates
+module-level state from one of them.  The unmarked cases — local
+mutation inside a worker, and parent-side bookkeeping — must stay
+clean.
+"""
+
+_SEEN = {}
+_TOTAL = 0
+_MODE = "idle"
+
+
+def _record(item):
+    _SEEN[item] = True  # expect[CONC001]
+    _SEEN.update({item: True})  # expect[CONC001]
+    return item
+
+
+def _bump():
+    global _TOTAL
+    _TOTAL += 1  # expect[CONC001]
+
+
+def _rebind_mode(value):
+    global _MODE
+    _MODE = value  # expect[CONC001]
+
+
+def _clean_local(item):
+    seen = {}
+    seen[item] = True  # local dict: fine
+    total = 0
+    total += 1  # local counter: fine
+    return seen, total
+
+
+def parent_side_bookkeeping(item):
+    # Not worker-reachable; parent-side mutation is not CONC001's concern.
+    _SEEN[item] = True
+
+
+def fan_out(pool, items):
+    futures = [pool.submit(_record, item) for item in items]
+    futures += [pool.submit(_bump) for __ in items]
+    futures.append(pool.submit(_rebind_mode, "busy"))
+    futures.append(pool.submit(_clean_local, "x"))
+    return futures

@@ -1,0 +1,40 @@
+"""CONC002 fixture: unguarded writes to shared instance cache state.
+
+``MemoEngine`` subclasses :class:`AnswerEngine`, so its ``answer``-family
+methods are worker-side entry points.  Cache writes (memo dict, hit
+counters) outside ``self._memo_lock`` are marked; the identical writes
+under the lock, ``__init__`` initialization, and rebinding a local
+alias must stay clean.
+"""
+
+import threading
+
+from repro.engines.base import AnswerEngine
+
+
+class MemoEngine(AnswerEngine):
+    def __init__(self):
+        super().__init__()
+        self._memo_cache = {}  # initialization: fine
+        self._memo_hits = 0
+        self._memo_lock = threading.Lock()
+
+    def _answer_uncached(self, query):
+        key = query.id
+        self._memo_hits += 1  # expect[CONC002]
+        self._memo_cache[key] = query  # expect[CONC002]
+        self._memo_cache.pop(key, None)  # expect[CONC002]
+        with self._memo_lock:
+            self._memo_hits += 1  # guarded: fine
+            self._memo_cache[key] = query
+            self._memo_cache.pop(key, None)
+        return query
+
+    def answer_all(self, queries):
+        cache = getattr(self, "_memo_cache", None)  # alias rebind: fine
+        if cache is None:
+            return [self._answer_uncached(q) for q in queries]
+        with self._memo_lock:
+            cache["warm"] = True  # guarded alias write: fine
+        cache["cold"] = True  # expect[CONC002]
+        return [self._answer_uncached(q) for q in queries]

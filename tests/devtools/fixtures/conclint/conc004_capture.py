@@ -1,0 +1,42 @@
+"""CONC004 fixture: fork-unsafe resources crossing the worker boundary.
+
+Module-level handles/locks referenced by worker-reachable code, and
+local handles captured by submitted lambdas or closures, are marked.
+Opening the file *inside* the task is the clean pattern.
+"""
+
+import threading
+
+_EVENT_LOG = open("events.log", "a")
+_STATE_LOCK = threading.Lock()
+
+
+def _append_event(event):
+    _EVENT_LOG.write(event)  # expect[CONC004]
+    with _STATE_LOCK:  # expect[CONC004]
+        return event
+
+
+def _clean_task(path, event):
+    with open(path, "a") as handle:  # opened inside the task: fine
+        handle.write(event)
+
+
+def fan_out(pool, events):
+    futures = [pool.submit(_append_event, e) for e in events]
+    futures += [pool.submit(_clean_task, "out.log", e) for e in events]
+    return futures
+
+
+def submit_lambda_capture(pool, path):
+    handle = open(path, "a")
+    return pool.submit(lambda event: handle.write(event), "x")  # expect[CONC004]
+
+
+def submit_closure_capture(pool, path):
+    handle = open(path, "a")
+
+    def _task(event):  # expect[CONC004]
+        handle.write(event)
+
+    return pool.submit(_task, "x")

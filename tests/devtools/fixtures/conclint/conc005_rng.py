@@ -1,0 +1,43 @@
+"""CONC005 fixture: shared RNG streams crossing the worker boundary.
+
+Draws from a module-level or instance-shared ``random.Random`` inside
+worker-reachable code are marked; deriving a fresh per-task stream with
+``derive_rng`` is the clean pattern.
+"""
+
+import random
+
+from repro.llm.rng import derive_rng
+
+_SHUFFLER = random.Random(1234)
+
+
+class Sampler:
+    def __init__(self):
+        self._draw_rng = random.Random(7)
+
+    def pick(self, items):
+        return self._draw_rng.choice(items)  # expect[CONC005]
+
+    def pick_derived(self, task_id, items):
+        rng = derive_rng("pick", task_id)
+        return rng.choice(items)  # per-task stream: fine
+
+
+def _shuffle_chunk(chunk):
+    _SHUFFLER.shuffle(chunk)  # expect[CONC005]
+    return chunk
+
+
+def _derived_chunk(task_id, chunk):
+    rng = derive_rng("chunk", task_id)
+    rng.shuffle(chunk)  # per-task stream: fine
+    return chunk
+
+
+def fan_out(pool, sampler, chunks):
+    futures = [pool.submit(_shuffle_chunk, c) for c in chunks]
+    futures += [pool.submit(_derived_chunk, i, c) for i, c in enumerate(chunks)]
+    futures += [pool.submit(sampler.pick, c) for c in chunks]
+    futures += [pool.submit(sampler.pick_derived, i, c) for i, c in enumerate(chunks)]
+    return futures

@@ -1,0 +1,19 @@
+"""Pragma semantics: conclint pragmas waive, detlint pragmas do not."""
+
+_REGISTRY = {}
+
+
+def _tracked(item):
+    _REGISTRY[item] = True  # conclint: ignore[CONC001] -- test-only registry
+    return item
+
+
+def _still_flagged(item):
+    _REGISTRY[item] = True  # detlint: ignore[CONC001] -- wrong tool, still blocks
+    return item
+
+
+def fan_out(pool, items):
+    futures = [pool.submit(_tracked, i) for i in items]
+    futures += [pool.submit(_still_flagged, i) for i in items]
+    return futures

@@ -1,0 +1,13 @@
+# conclint: skip-file -- scratch module exercising the file-scope escape
+"""Violations below must not be reported: the whole file is skipped."""
+
+_SEEN = {}
+
+
+def _record(item):
+    _SEEN[item] = True
+    return item
+
+
+def fan_out(pool, items):
+    return [pool.submit(_record, i) for i in items]

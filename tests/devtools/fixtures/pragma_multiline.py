@@ -1,0 +1,19 @@
+"""Pragmas anchored to the first line of a multi-line statement.
+
+Each violation sits on a *continuation* line of a statement whose first
+line carries the waiver; pragma lookup must honour the statement anchor,
+not just the violating node's own physical lines.
+"""
+
+import random
+import time
+
+total = sum(  # detlint: ignore[DET001] -- waiver on the statement's first line
+    random.random()
+    for _ in range(3)
+)
+
+timestamp = max(  # detlint: ignore[DET002] -- waiver on the statement's first line
+    0.0,
+    time.time(),
+)

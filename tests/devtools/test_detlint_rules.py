@@ -77,6 +77,18 @@ class TestPragmas:
         actual = {(f.line, f.rule) for f in findings if f.blocking}
         assert actual == expected
 
+    def test_pragma_on_first_line_of_multiline_statement_waives(self):
+        # The violations sit on continuation lines; the pragmas sit on
+        # the statements' first lines.  Both must anchor the waiver.
+        __, findings = lint_fixture("pragma_multiline.py")
+        assert findings, "multi-line fixture must still produce findings"
+        assert {f.rule for f in findings} == {"DET001", "DET002"}
+        assert all(f.waived for f in findings), [
+            (f.line, f.stmt_line, f.rule) for f in findings if not f.waived
+        ]
+        # The statement anchor is distinct from the reported line.
+        assert all(f.stmt_line < f.line for f in findings)
+
     def test_skip_file(self):
         __, findings = lint_fixture("skip_file.py")
         assert findings == []

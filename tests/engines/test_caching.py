@@ -1,5 +1,8 @@
 """Tests for engine answer memoization."""
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
 from repro.engines.base import Answer, AnswerEngine
 from repro.entities.queries import PopularityClass, Query, QueryKind
 
@@ -112,6 +115,34 @@ class TestAnswerCaching:
         assert engine.cache_stats() == (0, 0)
         engine.answer(make_query(0))
         assert engine.calls == 3  # truly dropped, not just counters
+
+    def test_concurrent_answers_keep_counters_consistent(self):
+        # Regression for the hit-path race: _cache_hits was bumped
+        # outside _cache_lock, so hammering one engine from many
+        # threads lost increments and broke hits + misses == calls.
+        engine = CountingEngine()
+        engine.cache_limit = 4096  # no eviction noise in this test
+        queries = [make_query(i % 8) for i in range(400)]
+        barrier = threading.Barrier(8)
+
+        def worker(chunk):
+            barrier.wait()
+            return [engine.answer(q) for q in chunk]
+
+        chunks = [queries[i::8] for i in range(8)]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = [f.result() for f in [pool.submit(worker, c) for c in chunks]]
+
+        hits, misses = engine.cache_stats()
+        # Every answer() call lands in exactly one counter, and a miss
+        # is recorded once per key (by whichever thread inserts first —
+        # racing duplicates of the same computation count as hits).
+        assert hits + misses == len(queries)
+        assert misses == 8
+        # One canonical Answer per key, regardless of which thread won.
+        by_id = {}
+        for answer in (a for chunk in results for a in chunk):
+            assert by_id.setdefault(answer.query_id, answer) is answer
 
     def test_real_engine_caches(self, world):
         from repro.entities.queries import ranking_queries

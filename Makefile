@@ -23,10 +23,10 @@ conclint-baseline:
 	python -m repro conclint --update-baseline
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	pytest benchmarks/ --benchmark-only --benchmark-disable-gc
 
 bench-paper:
-	REPRO_BENCH_SCALE=paper pytest benchmarks/ --benchmark-only
+	REPRO_BENCH_SCALE=paper pytest benchmarks/ --benchmark-only --benchmark-disable-gc
 
 study:
 	python tools/run_full_study.py results/full

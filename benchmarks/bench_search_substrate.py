@@ -3,6 +3,11 @@
 Not a paper artifact: these time the hot paths a downstream user pays
 for — index construction, BM25 scoring, organic search end-to-end, and
 PageRank over the link graph.
+
+A ``pytest benchmarks/ --benchmark-only`` run records the substrate
+timings into ``BENCH_search.json`` at the repo root (see
+``conftest.pytest_sessionfinish``); ``tools/perf_smoke.py`` compares
+live fast-vs-reference speedups against the ratios pinned there.
 """
 
 from repro.search.bm25 import BM25Scorer
@@ -43,6 +48,42 @@ def test_bench_engine_answer(benchmark, world):
     query = ranking_queries(world.catalog, count=1, seed=9)[0]
     answer = benchmark(world.engines["GPT-4o"].answer, query)
     assert answer.citations
+
+
+def test_bench_mixed_query_workload(benchmark, world):
+    """Paper-shaped query mix through the full query path, cache-cold.
+
+    The workload mirrors the study's query composition (ranking-heavy,
+    plus comparison and intent queries) and runs both ``search`` and
+    ``search_with_snippets``.  The query-result cache is cleared every
+    round so the number measures ranking work, not cache hits; the
+    snippet and index-side tables stay warm, as they do mid-study.
+    """
+    from repro.entities.queries import (
+        comparison_queries,
+        intent_queries,
+        ranking_queries,
+    )
+
+    catalog = world.catalog
+    texts = [q.text for q in ranking_queries(catalog, count=40, seed=5)]
+    texts += [
+        q.text
+        for q in comparison_queries(catalog, n_popular=10, n_niche=10, seed=5)
+    ]
+    texts += [q.text for q in intent_queries(catalog, count=20, seed=5)]
+    engine = world.search_engine
+
+    def run() -> int:
+        engine.clear_query_cache()
+        hits = 0
+        for text in texts:
+            hits += len(engine.search(text, 10))
+        for text in texts[:15]:
+            hits += len(engine.search_with_snippets(text, k=6))
+        return hits
+
+    assert benchmark(run) > 0
 
 
 def test_bench_search_engine_construction(benchmark, world):

@@ -218,6 +218,19 @@ def render_stats(study: "ComparativeStudy") -> str:
         f"{cache_stats.hits} hits / {cache_stats.misses} misses "
         f"(hit rate {100.0 * cache_stats.hit_rate:.0f}%)"
     )
+    search_engine = study.world.search_engine
+    query_stats = search_engine.query_cache_stats()
+    lines.append(
+        f"  query cache: {query_stats.size} entries, "
+        f"{query_stats.hits} hits / {query_stats.misses} misses "
+        f"(hit rate {100.0 * query_stats.hit_rate:.0f}%)"
+    )
+    snippet_stats = search_engine.snippet_cache.counters()
+    lines.append(
+        f"  snippet cache: {snippet_stats.size} pages, "
+        f"{snippet_stats.hits} hits / {snippet_stats.misses} misses "
+        f"(hit rate {100.0 * snippet_stats.hit_rate:.0f}%)"
+    )
     return "\n".join(lines)
 
 

@@ -16,6 +16,14 @@ exploits both facts:
 * :class:`EvidenceCache` is a world-level, keyed memo for the Section
   3.1 evidence contexts, so each ``(query, depth)`` pair is retrieved
   exactly once per world no matter how many experiments revisit it.
+  The search substrate adds two more world-level memos under the same
+  contract — :class:`~repro.search.engine.SearchEngine`'s query-result
+  cache and its :class:`~repro.search.snippets.SnippetCache` — both
+  instance-owned and lock-guarded
+  (:class:`~repro.search.caching.BoundedCache`): forked pool workers
+  inherit warm copies copy-on-write, the thread executor shares one
+  safely, and cached values are deterministic, so worker topology never
+  changes results.
 * :class:`RunStats` counts what happened (queries answered, pool tasks,
   cache hits/misses, wall time per phase) and is rendered by
   :func:`repro.core.report.render_stats` and ``python -m repro run

@@ -172,7 +172,11 @@ class ComparativeStudy:
 
         def retrieve() -> ContextWindow:
             pages = self._world.retriever.select_sources(query.text, policy)
-            return context_from_pages(pages, query.text)
+            return context_from_pages(
+                pages,
+                query.text,
+                snippet_cache=self._world.search_engine.snippet_cache,
+            )
 
         return self._world.evidence_cache.get_or_compute(
             (query.text, policy), retrieve

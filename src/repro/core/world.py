@@ -117,3 +117,16 @@ class World:
     def google(self) -> AnswerEngine:
         """The traditional-search baseline."""
         return self.engines["Google"]
+
+    def clear_caches(self) -> None:
+        """Reset every world-level memo to a cold state.
+
+        Drops the engine answer memos, the shared evidence cache, and
+        the search substrate's query and snippet caches.  Used by tests
+        that compare cold and warm runs; a study never needs it.
+        """
+        for engine in self.engines.values():
+            engine.clear_cache()
+        self.evidence_cache.clear()
+        self.search_engine.clear_query_cache()
+        self.search_engine.snippet_cache.clear()

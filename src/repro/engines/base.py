@@ -78,7 +78,7 @@ class AnswerEngine(abc.ABC):
     cache_limit: int = 4096
 
     def __init__(self) -> None:
-        self._answer_cache: dict[tuple, Answer] = {}
+        self._answer_cache: dict[str, Answer] = {}
         self._cache_lock = threading.Lock()
         self._cache_hits = 0
         self._cache_misses = 0
@@ -88,27 +88,31 @@ class AnswerEngine(abc.ABC):
         """Answer ``query``; must be deterministic per (engine, query)."""
 
     @staticmethod
-    def _cache_key(query: Query) -> tuple:
+    def _cache_key(query: Query) -> str:
         # Every identity-bearing Query field participates: two queries
-        # differing only in popularity_class must not collide.
-        return (
-            query.id, query.text, query.kind, query.vertical,
-            query.intent, query.entities, query.popularity_class,
-            query.top_k,
-        )
+        # differing only in popularity_class must not collide.  The key
+        # is precomputed on the Query itself (its hash is cached after
+        # first use), keeping the memo's hit path to one dict probe.
+        return query.cache_key
 
     def answer(self, query: Query) -> Answer:
         """Answer ``query`` (memoized)."""
-        # Subclasses that skip __init__ still work, just uncached.
-        cache = getattr(self, "_answer_cache", None)
-        if cache is None:
+        try:
+            # Unlocked probe: dict reads are GIL-atomic, entries are
+            # immutable once stored, and eviction only pops whole
+            # entries — a stale read is at worst a recomputed miss.
+            # Counter writes stay under the lock (the hit-path race the
+            # concurrency tests pin).
+            cached = self._answer_cache.get(query.cache_key)
+        except AttributeError:
+            # Subclasses that skip __init__ still work, just uncached.
             return self._answer_uncached(query)
-        key = self._cache_key(query)
-        with self._cache_lock:
-            cached = cache.get(key)
-            if cached is not None:
+        if cached is not None:
+            with self._cache_lock:
                 self._cache_hits += 1
-                return cached
+            return cached
+        key = query.cache_key
+        cache = self._answer_cache
         answer = self._answer_uncached(query)
         # Insert first, trim after: a present key is never grounds for
         # eviction, and the cache holds exactly cache_limit entries at

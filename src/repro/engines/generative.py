@@ -16,7 +16,8 @@ from repro.entities.queries import Query, QueryKind
 from repro.llm.context import ContextWindow, EvidenceSnippet
 from repro.llm.generation import synthesize_answer
 from repro.llm.model import GroundingMode, SimulatedLLM
-from repro.search.snippets import extract_snippet
+from repro.search.snippets import SnippetCache, extract_snippet
+from repro.search.tokenize import tokenize
 from repro.webgraph.pages import Page
 
 __all__ = ["GenerativeEngine", "context_from_pages"]
@@ -26,6 +27,7 @@ def context_from_pages(
     pages: list[Page],
     query_text: str,
     max_entities_per_snippet: int = 4,
+    snippet_cache: SnippetCache | None = None,
 ) -> ContextWindow:
     """Build the LLM's context window from retrieved pages.
 
@@ -36,15 +38,25 @@ def context_from_pages(
     popularity, famous entities end up supported by many snippets while
     obscure ones get one or none — the coverage asymmetry behind the
     paper's citation misses.
+
+    With a ``snippet_cache`` (the world's shared per-page sentence cache)
+    the query is analyzed once and page tokenization is memoized; output
+    is byte-identical to the uncached :func:`extract_snippet` path.
     """
     if max_entities_per_snippet < 1:
         raise ValueError("max_entities_per_snippet must be at least 1")
+    if snippet_cache is not None:
+        query_terms = frozenset(tokenize(query_text))
     snippets = []
     for page in pages:
+        if snippet_cache is not None:
+            text = snippet_cache.extract_with_terms(page, query_terms)
+        else:
+            text = extract_snippet(page, query_text)
         visible = page.entities[:max_entities_per_snippet]
         snippets.append(
             EvidenceSnippet(
-                text=extract_snippet(page, query_text),
+                text=text,
                 url=page.url,
                 domain=page.domain,
                 entity_stance={
@@ -113,7 +125,11 @@ class GenerativeEngine(AnswerEngine):
         sources = self._select_sources(query, intent)
         ranked: tuple[str, ...] = ()
         if query.kind in (QueryKind.RANKING, QueryKind.COMPARISON) and query.entities:
-            context = context_from_pages(sources, query.text)
+            context = context_from_pages(
+                sources,
+                query.text,
+                snippet_cache=self._retriever.snippet_cache,
+            )
             result = self._llm.rank_entities(
                 query.text,
                 list(query.entities),

@@ -149,7 +149,8 @@ class Retriever:
         self._registry = registry
         # The engines share Google's *index* (one corpus, one index) but
         # score candidates with pure BM25 — persona logic replaces SEO.
-        self._scorer = BM25Scorer(search_engine.index)
+        # Warmed eagerly so forked pool workers inherit the norm table.
+        self._scorer = BM25Scorer(search_engine.index).warm()
         self._index = search_engine.index
         self._search_engine = search_engine
 
@@ -161,6 +162,11 @@ class Retriever:
             domain: math.log1p(count) / math.log1p(max_count)
             for domain, count in counts.items()
         }
+
+    @property
+    def snippet_cache(self):
+        """The world's shared per-page sentence cache (one per engine)."""
+        return self._search_engine.snippet_cache
 
     def familiarity(self, domain: str) -> float:
         """Pre-training prominence of a domain in ``[0, 1]``."""

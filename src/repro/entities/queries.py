@@ -77,6 +77,12 @@ class Query:
     popularity_class: PopularityClass | None = None
     top_k: int = 10
     tokens_hint: tuple[str, ...] = field(default=(), compare=False)
+    #: Precomputed memoization key over every identity-bearing field
+    #: (``tokens_hint`` excluded, matching dataclass equality).  A string
+    #: so CPython caches its hash: the engines' answer memos hit this key
+    #: once per (query, engine, arm) and the repr of the field tuple is
+    #: injective for these field types.
+    cache_key: str = field(init=False, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.text.strip():
@@ -84,6 +90,17 @@ class Query:
         if self.top_k < 1:
             raise ValueError("top_k must be at least 1")
         get_vertical(self.vertical)
+        object.__setattr__(
+            self,
+            "cache_key",
+            repr(
+                (
+                    self.id, self.text, self.kind, self.vertical,
+                    self.intent, self.entities, self.popularity_class,
+                    self.top_k,
+                )
+            ),
+        )
 
 
 def _class_for_vertical(vertical_id: str, niche_entities: bool) -> PopularityClass:

@@ -9,19 +9,24 @@ engines' source selection.
 """
 
 from repro.search.bm25 import BM25Scorer
-from repro.search.engine import SearchEngine, SearchResult
+from repro.search.caching import BoundedCache, CacheCounters
+from repro.search.engine import SearchEngine, SearchResult, Snippet
 from repro.search.index import InvertedIndex
 from repro.search.pagerank import pagerank
 from repro.search.seo import SeoWeights
-from repro.search.snippets import extract_snippet
+from repro.search.snippets import SnippetCache, extract_snippet
 from repro.search.tokenize import tokenize
 
 __all__ = [
     "BM25Scorer",
+    "BoundedCache",
+    "CacheCounters",
     "InvertedIndex",
     "SearchEngine",
     "SearchResult",
     "SeoWeights",
+    "Snippet",
+    "SnippetCache",
     "extract_snippet",
     "pagerank",
     "tokenize",

@@ -1,0 +1,123 @@
+"""Lock-guarded bounded memoization for the search substrate.
+
+Both query-path caches (the world-level query-result cache on
+:class:`repro.search.engine.SearchEngine` and the per-page sentence cache
+behind snippet extraction) share this primitive: a FIFO-bounded dict with
+hit/miss/eviction counters, every write under an instance lock.
+
+The concurrency contract matches the engine memo caches that conclint
+CONC002 audits: ``compute`` runs *outside* the lock (racing duplicate
+computations are deterministic, so last-insert-wins is harmless), all
+bookkeeping — insert, trim, counters — runs inside it.  Instances are
+plain attributes of world-owned objects, so forked pool workers inherit
+independent copies and the thread executor shares one safely through the
+lock; no module-level state is involved (CONC001/CONC004 clean by
+construction).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["BoundedCache", "CacheCounters"]
+
+
+@dataclass(frozen=True)
+class CacheCounters:
+    """A point-in-time snapshot of one cache's counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class BoundedCache:
+    """A keyed memo held in FIFO insertion order and trimmed to ``limit``.
+
+    Invariants (shared with :class:`repro.core.runner.EvidenceCache`):
+
+    * one computation per key per cache between evictions — a second
+      lookup is a hit, never a recompute;
+    * thread-safe — ``compute`` runs outside the lock, bookkeeping
+      inside it, and the stored value (not the racing duplicate) is
+      what every caller receives, so value identity is stable across
+      threads.
+    """
+
+    def __init__(self, limit: int = 8192) -> None:
+        if limit < 1:
+            raise ValueError("limit must be at least 1")
+        self._limit = limit
+        self._cache: dict[Hashable, Any] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._cache
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value for ``key`` (a counted hit), or ``None``."""
+        with self._lock:
+            value = self._cache.get(key)
+            if value is not None:
+                self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> Any:
+        """Insert ``value`` unless ``key`` arrived first; return the winner.
+
+        Counted as the miss half of a ``get``/``put`` pair: the caller
+        already observed the miss via :meth:`get`, so ``put`` records it.
+        """
+        with self._lock:
+            if key not in self._cache:
+                self._misses += 1
+                self._cache[key] = value
+                while len(self._cache) > self._limit:
+                    self._cache.pop(next(iter(self._cache)))
+                    self._evictions += 1
+            else:
+                self._hits += 1
+            return self._cache[key]
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing it on first use."""
+        value = self.get(key)
+        if value is not None:
+            return value
+        return self.put(key, compute())
+
+    def counters(self) -> CacheCounters:
+        """Current hit/miss/eviction counts and entry count."""
+        with self._lock:
+            return CacheCounters(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._cache),
+            )
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._cache.clear()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0

@@ -5,17 +5,34 @@ organic top-``k`` with host crowding (at most ``max_per_domain`` results
 per registrable domain, as Google clusters same-site results), and
 ``search_with_snippets`` additionally attaches query-biased snippets —
 the evidence format the generative engines consume.
+
+The query path is an *exact fast path*: term-at-a-time BM25 accumulation
+over the frozen index (:meth:`BM25Scorer.score_terms`), per-page static
+blend components precomputed once per index epoch, bounded-heap top-m
+selection with host-crowding headroom (falling back to full selection
+when crowding exhausts the headroom), and a lock-guarded bounded query
+cache keyed on ``(analyzed terms, k, index epoch)``.  Every float it
+produces comes from the same operations in the same order as
+:meth:`search_reference` — the original score-everything-then-sort
+pipeline, kept verbatim as the equivalence oracle — so rankings, scores,
+and snippets are byte-identical (see
+``tests/search/test_fastpath_equivalence.py`` and the "Query fast path"
+section of ``docs/architecture.md``).
 """
 
 from __future__ import annotations
 
+import heapq
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 from repro.search.bm25 import BM25Scorer
+from repro.search.caching import BoundedCache, CacheCounters
 from repro.search.index import InvertedIndex
 from repro.search.pagerank import pagerank
-from repro.search.seo import SeoWeights
-from repro.search.snippets import extract_snippet
+from repro.search.seo import SeoWeights, freshness_decay
+from repro.search.snippets import SnippetCache, extract_snippet
+from repro.search.tokenize import tokenize
 from repro.webgraph.corpus import Corpus
 from repro.webgraph.domains import DomainRegistry
 from repro.webgraph.pages import Page
@@ -44,6 +61,13 @@ class Snippet:
     page: Page
 
 
+#: (authority, on-page SEO, freshness) blend terms for one page, each
+#: already multiplied by its weight.  Kept as three separate floats — not
+#: pre-summed — because float addition is non-associative and the blend
+#: must reproduce the reference's left-to-right ``a + b + c + d``.
+_Statics = Sequence[tuple[float, float, float]] | Mapping[int, tuple[float, float, float]]
+
+
 class SearchEngine:
     """Organic web search over a :class:`Corpus`."""
 
@@ -53,6 +77,11 @@ class SearchEngine:
     #: stand-in and the persona retrievers score unknown domains
     #: consistently (neither buries them at 0 nor trusts them).
     UNKNOWN_DOMAIN_AUTHORITY = 0.3
+
+    #: Bound on distinct ``(terms, k, epoch)`` entries the query cache
+    #: holds.  A full study issues a few hundred distinct queries; the
+    #: bound only matters to ad-hoc exploratory use.
+    QUERY_CACHE_LIMIT = 4096
 
     def __init__(
         self,
@@ -85,6 +114,27 @@ class SearchEngine:
             baseline = registry.get(domain).authority
             self._authority[domain] = 0.3 * graph_part + 0.7 * baseline
 
+        #: ``(epoch, table)`` of per-page static blend components,
+        #: rebuilt lazily when the index epoch moves (published by a
+        #: single attribute store; a racing rebuild swaps in an
+        #: identical table).
+        self._static_table: tuple[int, _Statics] | None = None
+        #: World-level query-result cache: ``(terms, k, epoch)`` ->
+        #: tuple of :class:`SearchResult`.  Lock-guarded and bounded;
+        #: only the fast path uses it (a custom :class:`SeoWeights`
+        #: subclass routes through the uncached reference pipeline).
+        self._query_cache = BoundedCache(limit=self.QUERY_CACHE_LIMIT)
+        #: Per-page sentence cache shared by ``search_with_snippets``
+        #: and the generative engines' evidence builders.
+        self.snippet_cache = SnippetCache()
+        # Warm everything the query path reads so forked pool workers
+        # inherit built state instead of each rebuilding it (see the
+        # sharing contract in repro.core.runner).
+        self._index.freeze()
+        self._scorer.warm()
+        if type(self._weights) is SeoWeights and corpus.pages:
+            self._statics()
+
     @property
     def index(self) -> InvertedIndex:
         """The underlying inverted index (read-only use)."""
@@ -98,11 +148,177 @@ class SearchEngine:
         """
         return self._authority.get(domain, self.UNKNOWN_DOMAIN_AUTHORITY)
 
+    # ------------------------------------------------------------------
+    # Fast path
+
+    def _statics(self) -> _Statics:
+        """Per-doc ``(authority, seo, freshness)`` blend terms, weighted.
+
+        Epoch-tagged like the scorer's norm table; each term is exactly
+        the product the reference blend computes for that page, so
+        summing them left-to-right after the relevance term reproduces
+        :meth:`SeoWeights.blend` bit-for-bit.
+        """
+        epoch = self._index.epoch
+        cached = self._static_table
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        w = self._weights
+        w_auth, w_seo, w_fresh = w.authority, w.on_page_seo, w.freshness
+        half_life = w.freshness_half_life_days
+        age_days = self._corpus.clock.age_days
+        authority = self.domain_authority
+        dense, lengths = self._index.doc_length_table()
+        page = self._index.page
+        table: _Statics
+        if dense:
+            table = [
+                (
+                    w_auth * authority((p := page(doc_id)).domain),
+                    w_seo * p.seo_score,
+                    w_fresh * freshness_decay(age_days(p.published), half_life),
+                )
+                for doc_id in range(len(lengths))
+            ]
+        else:
+            table = {
+                doc_id: (
+                    w_auth * authority((p := page(doc_id)).domain),
+                    w_seo * p.seo_score,
+                    w_fresh * freshness_decay(age_days(p.published), half_life),
+                )
+                for doc_id in lengths
+            }
+        self._static_table = (epoch, table)
+        return table
+
+    def _rank_fast(self, terms: Sequence[str], k: int) -> list[SearchResult]:
+        """Exact top-``k``: accumulate, bounded-heap select, crowd.
+
+        ``heapq.nsmallest(m, items)`` is documented to equal
+        ``sorted(items)[:m]``; the items are ``(-blended, doc_id)`` pairs
+        (negation of a float is exact, ``doc_id`` is unique), so the
+        heap's order is exactly the reference's ``(-score, doc_id)``
+        sort.  Host crowding then scans that prefix; if the ``m = k ×
+        max_per_domain`` headroom is exhausted before ``k`` results are
+        found, the selection falls back to the fully sorted pool, which
+        *is* the reference pipeline's order.
+        """
+        bm25 = self._scorer.score_terms(terms)
+        if not bm25:
+            return []
+        max_bm25 = max(bm25.values())
+        statics = self._statics()
+        w_rel = self._weights.relevance
+        if max_bm25:
+            items = [
+                (
+                    -(
+                        (w_rel * (raw / max_bm25) + (s := statics[doc_id])[0] + s[1])
+                        + s[2]
+                    ),
+                    doc_id,
+                )
+                for doc_id, raw in bm25.items()
+            ]
+        else:
+            items = [
+                (
+                    -(
+                        (w_rel * 0.0 + (s := statics[doc_id])[0] + s[1])
+                        + s[2]
+                    ),
+                    doc_id,
+                )
+                for doc_id, raw in bm25.items()
+            ]
+        headroom = k * self._max_per_domain
+        if headroom < len(items):
+            top: Sequence[tuple[float, int]] = heapq.nsmallest(headroom, items)
+        else:
+            items.sort()
+            top = items
+        results = self._crowd(top, k)
+        if len(results) < k and len(top) < len(items):
+            # Crowding ate the headroom: fall back to the full ordering.
+            items.sort()
+            results = self._crowd(items, k)
+        return results
+
+    def _crowd(
+        self, ordered: Sequence[tuple[float, int]], k: int
+    ) -> list[SearchResult]:
+        """Apply host crowding over ``(-score, doc_id)`` pairs in order."""
+        page_of = self._index.page
+        results: list[SearchResult] = []
+        per_domain: dict[str, int] = {}
+        for neg_score, doc_id in ordered:
+            page = page_of(doc_id)
+            seen = per_domain.get(page.domain, 0)
+            if seen >= self._max_per_domain:
+                continue
+            per_domain[page.domain] = seen + 1
+            results.append(
+                SearchResult(
+                    rank=len(results) + 1,
+                    url=page.url,
+                    domain=page.domain,
+                    score=-neg_score,
+                    page=page,
+                )
+            )
+            if len(results) == k:
+                break
+        return results
+
+    # ------------------------------------------------------------------
+    # Public query API
+
     def search(self, query: str, k: int = 10) -> list[SearchResult]:
         """Organic top-``k`` for ``query``."""
         if k < 1:
             raise ValueError("k must be at least 1")
-        bm25 = self._scorer.score_all(query)
+        if type(self._weights) is not SeoWeights:
+            # A blend override means the precomputed statics don't
+            # describe the ranking; take the uncached reference path.
+            return self.search_reference(query, k)
+        terms = tuple(tokenize(query))
+        key = (terms, k, self._index.epoch)
+        cached = self._query_cache.get(key)
+        if cached is not None:
+            return list(cached)
+        results = self._rank_fast(terms, k)
+        return list(self._query_cache.put(key, tuple(results)))
+
+    def search_with_snippets(self, query: str, k: int = 10) -> list[Snippet]:
+        """Top-``k`` results as (snippet, url) evidence pairs."""
+        results = self.search(query, k)
+        if not results:
+            return []
+        query_terms = frozenset(tokenize(query))
+        extract = self.snippet_cache.extract_with_terms
+        return [
+            Snippet(
+                text=extract(result.page, query_terms),
+                url=result.url,
+                domain=result.domain,
+                page=result.page,
+            )
+            for result in results
+        ]
+
+    # ------------------------------------------------------------------
+    # Reference pipeline (equivalence oracle)
+
+    def search_reference(self, query: str, k: int = 10) -> list[SearchResult]:
+        """The original score-everything-then-sort pipeline, verbatim.
+
+        Property tests hold :meth:`search` to bit-identical output; do
+        not "optimize" it — its value is being the unchanged original.
+        """
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        bm25 = self._scorer.score_all_reference(query)
         if not bm25:
             return []
         max_bm25 = max(bm25.values())
@@ -141,8 +357,10 @@ class SearchEngine:
                 break
         return results
 
-    def search_with_snippets(self, query: str, k: int = 10) -> list[Snippet]:
-        """Top-``k`` results as (snippet, url) evidence pairs."""
+    def search_with_snippets_reference(
+        self, query: str, k: int = 10
+    ) -> list[Snippet]:
+        """Reference evidence pairs via :func:`extract_snippet`."""
         return [
             Snippet(
                 text=extract_snippet(result.page, query),
@@ -150,5 +368,16 @@ class SearchEngine:
                 domain=result.domain,
                 page=result.page,
             )
-            for result in self.search(query, k)
+            for result in self.search_reference(query, k)
         ]
+
+    # ------------------------------------------------------------------
+    # Cache administration
+
+    def query_cache_stats(self) -> CacheCounters:
+        """Hit/miss/eviction counters of the query-result cache."""
+        return self._query_cache.counters()
+
+    def clear_query_cache(self) -> None:
+        """Drop cached query results (e.g. between benchmark rounds)."""
+        self._query_cache.clear()

@@ -4,11 +4,21 @@ Classic postings-list design: term -> [(doc_id, term_frequency)], plus
 per-document lengths and the corpus statistics BM25 needs.  Title terms
 are indexed with a configurable boost (counted multiple times), a standard
 trick that stands in for field-weighted scoring.
+
+The index has two phases.  During *build* (:meth:`add` / :meth:`add_all`)
+postings accumulate in per-term lists.  The first read through
+:meth:`freeze`, :meth:`postings_arrays` or :meth:`doc_length_table`
+freezes that state into immutable parallel arrays — one ``doc_ids`` tuple
+and one ``term_frequencies`` tuple per term, plus a doc-length table laid
+out densely when doc ids are contiguous — which the query fast path scans
+without per-call copies or per-posting object dispatch.  A later ``add``
+thaws the snapshot and bumps :attr:`epoch`, so anything keyed on
+``(..., epoch)`` can never serve stale results.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
 
 from repro.search.tokenize import tokenize
@@ -25,11 +35,35 @@ class Posting:
     term_frequency: int
 
 
+@dataclass(frozen=True)
+class _FrozenPostings:
+    """An immutable snapshot of the index's postings at one epoch.
+
+    Built entirely off to the side and published through a single
+    attribute store, so a racing rebuild under the thread executor can
+    only ever swap in an identical snapshot — never expose a torn one.
+    """
+
+    epoch: int
+    #: term -> (doc_ids, term_frequencies), parallel and build-ordered.
+    arrays: dict[str, tuple[tuple[int, ...], tuple[int, ...]]]
+    #: doc lengths; a dense list indexed by doc_id when ids are the
+    #: contiguous range 0..n-1 (the corpus generator's layout), else a dict.
+    lengths: Sequence[int] | Mapping[int, int]
+    dense: bool
+
+
+_EMPTY_ARRAYS: tuple[tuple[int, ...], tuple[int, ...]] = ((), ())
+
+
 class InvertedIndex:
     """Term -> postings mapping with document statistics.
 
     Build once with :meth:`add` / :meth:`add_all`; the index is append-only
-    (re-adding a ``doc_id`` raises).
+    (re-adding a ``doc_id`` raises).  Read accessors hand out **immutable
+    views** onto frozen internal state — callers share storage with the
+    index and must not (and cannot) mutate it; there is no defensive
+    copying anywhere on the query path.
     """
 
     def __init__(self, title_boost: int = 3) -> None:
@@ -40,9 +74,14 @@ class InvertedIndex:
         self._doc_lengths: dict[int, int] = {}
         self._pages: dict[int, Page] = {}
         self._total_length = 0
+        self._mutations = 0
+        self._frozen: _FrozenPostings | None = None
+        #: Per-term tuple views handed out by :meth:`postings`, built
+        #: lazily and invalidated wholesale by :meth:`add`.
+        self._views: dict[str, tuple[Posting, ...]] = {}
 
     def add(self, page: Page) -> None:
-        """Index one page."""
+        """Index one page (thaws any frozen snapshot; bumps the epoch)."""
         if page.doc_id in self._pages:
             raise ValueError(f"doc_id {page.doc_id} already indexed")
         term_counts: dict[str, int] = {}
@@ -61,18 +100,104 @@ class InvertedIndex:
             self._postings.setdefault(term, []).append(
                 Posting(doc_id=page.doc_id, term_frequency=count)
             )
+        self._mutations += 1
+        if self._views:
+            self._views = {}
 
     def add_all(self, pages: Iterable[Page]) -> None:
         for page in pages:
             self.add(page)
 
-    def postings(self, term: str) -> list[Posting]:
-        """Postings list for an (already analyzed) term; empty if unseen."""
-        return list(self._postings.get(term, []))
+    # ------------------------------------------------------------------
+    # Frozen read path
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter; bumps on every :meth:`add`.
+
+        Caches keyed on ``(..., epoch)`` — the search engine's query
+        cache — are invalidated by construction when the index grows.
+        """
+        return self._mutations
+
+    def freeze(self) -> "InvertedIndex":
+        """Materialize the frozen snapshot now (idempotent; returns self).
+
+        Called eagerly by :class:`repro.search.engine.SearchEngine` after
+        ``add_all`` so forked pool workers inherit the arrays instead of
+        each rebuilding them.
+        """
+        self._snapshot()
+        return self
+
+    def _snapshot(self) -> _FrozenPostings:
+        snapshot = self._frozen
+        if snapshot is not None and snapshot.epoch == self._mutations:
+            return snapshot
+        arrays = {
+            term: (
+                tuple(p.doc_id for p in plist),
+                tuple(p.term_frequency for p in plist),
+            )
+            for term, plist in self._postings.items()
+        }
+        count = len(self._pages)
+        dense = count > 0 and min(self._pages) == 0 and max(self._pages) == count - 1
+        lengths: Sequence[int] | Mapping[int, int]
+        if dense:
+            table = [0] * count
+            for doc_id, length in self._doc_lengths.items():
+                table[doc_id] = length
+            lengths = table
+        else:
+            lengths = dict(self._doc_lengths)
+        snapshot = _FrozenPostings(
+            epoch=self._mutations, arrays=arrays, lengths=lengths, dense=dense
+        )
+        self._frozen = snapshot
+        return snapshot
+
+    def postings_arrays(
+        self, term: str
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Parallel ``(doc_ids, term_frequencies)`` views for a term.
+
+        Zero-copy: both tuples belong to the frozen snapshot and are
+        shared across calls.  Empty pair if the term is unseen.
+        """
+        return self._snapshot().arrays.get(term, _EMPTY_ARRAYS)
+
+    def doc_length_table(self) -> tuple[bool, Sequence[int] | Mapping[int, int]]:
+        """``(dense, table)`` view of per-doc lengths.
+
+        When ``dense`` is true the table is a list indexed by ``doc_id``;
+        otherwise a mapping.  Read-only — shared with the snapshot.
+        """
+        snapshot = self._snapshot()
+        return snapshot.dense, snapshot.lengths
+
+    # ------------------------------------------------------------------
+    # Classic accessors
+
+    def postings(self, term: str) -> Sequence[Posting]:
+        """Postings for an (already analyzed) term; empty if unseen.
+
+        Returns an **immutable view** (a tuple, memoized per term) rather
+        than a fresh list copy — repeated calls share one object, and the
+        O(df) per-call garbage the old copy created is gone.
+        """
+        view = self._views.get(term)
+        if view is None:
+            plist = self._postings.get(term)
+            if plist is None:
+                return ()
+            view = tuple(plist)
+            self._views[term] = view
+        return view
 
     def document_frequency(self, term: str) -> int:
         """Number of documents containing ``term``."""
-        return len(self._postings.get(term, []))
+        return len(self._postings.get(term, ()))
 
     def doc_length(self, doc_id: int) -> int:
         """Token count of a document (title boost included)."""

@@ -16,9 +16,7 @@ from repro.core.study import ComparativeStudy
 
 def _fresh(world) -> None:
     """Reset every memo so each timed/counted run starts cold."""
-    for engine in world.engines.values():
-        engine.clear_cache()
-    world.evidence_cache.clear()
+    world.clear_caches()
 
 
 def _study(world, workers, executor="process") -> ComparativeStudy:

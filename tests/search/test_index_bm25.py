@@ -48,8 +48,30 @@ class TestInvertedIndex:
         assert index.document_frequency("smartphone") == 2
 
     def test_unknown_term(self, index):
-        assert index.postings("zzz") == []
+        assert index.postings("zzz") == ()
         assert index.document_frequency("zzz") == 0
+
+    def test_postings_view_is_immutable_and_shared(self, index):
+        view = index.postings("smartphone")
+        assert isinstance(view, tuple)
+        assert index.postings("smartphone") is view
+
+    def test_postings_arrays_parallel_to_postings(self, index):
+        doc_ids, tfs = index.postings_arrays("smartphone")
+        assert doc_ids == tuple(p.doc_id for p in index.postings("smartphone"))
+        assert tfs == tuple(p.term_frequency for p in index.postings("smartphone"))
+        assert index.postings_arrays("zzz") == ((), ())
+
+    def test_epoch_bumps_and_views_refresh(self, index):
+        before = index.epoch
+        old_view = index.postings("smartphone")
+        index.add(make_page(3, "Smartphone deals", "A smartphone bargain roundup."))
+        assert index.epoch == before + 1
+        new_view = index.postings("smartphone")
+        assert new_view is not old_view
+        assert {p.doc_id for p in new_view} == {0, 2, 3}
+        doc_ids, __ = index.postings_arrays("smartphone")
+        assert set(doc_ids) == {0, 2, 3}
 
     def test_title_terms_boosted(self):
         idx = InvertedIndex(title_boost=3)

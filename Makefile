@@ -1,12 +1,18 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint detlint conclint lint-baseline conclint-baseline bench bench-paper study calibrate stability examples clean
+.PHONY: install test chaos lint detlint conclint lint-baseline conclint-baseline bench bench-paper study calibrate stability examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+# The fault-injection suite, sequentially and through the pool: output
+# must be byte-identical when every injected fault is retry-recoverable.
+chaos:
+	REPRO_WORKERS=1 pytest tests/resilience/ -q
+	REPRO_WORKERS=4 pytest tests/resilience/ -q
 
 lint: detlint conclint
 

@@ -105,6 +105,39 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print runner/cache statistics after the experiments",
     )
+    run.add_argument(
+        "--chaos",
+        action="append",
+        default=None,
+        metavar="SITE:RATE[:FAILURES[:KIND]]",
+        help="inject deterministic faults at a site (repeatable), e.g. "
+        "'engine.answer:0.2:2:error' or 'retrieval.select_sources:0.1:inf:timeout'; "
+        "implies the resilience layer even with an empty plan",
+    )
+    run.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for the fault plan's deterministic selection rolls (default 0)",
+    )
+    run.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="strict mode: propagate injected faults instead of degrading",
+    )
+    run.add_argument(
+        "--journal",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="record completed (engine, chunk) results to a resume journal "
+        "(default with --resume: results/run-journal.jsonl)",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay completed chunks from the journal; only missing work runs",
+    )
 
     replicate_cmd = sub.add_parser(
         "replicate", help="rerun headline metrics across seeds"
@@ -188,7 +221,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
     world = World.build(_config(args))
-    study = ComparativeStudy(world)
+    if args.chaos is not None or args.fail_fast:
+        from repro.resilience import FaultPlan, ResilienceConfig, ResilienceContext
+
+        try:
+            plan = FaultPlan.parse(",".join(args.chaos or ()), seed=args.chaos_seed)
+        except ValueError as exc:
+            print(f"bad --chaos spec: {exc}", file=sys.stderr)
+            return 2
+        world.install_resilience(
+            ResilienceContext(
+                ResilienceConfig(plan=plan, fail_fast=args.fail_fast)
+            )
+        )
+    journal = None
+    if args.journal is not None or args.resume:
+        from repro.resilience import RunJournal
+
+        path = args.journal or pathlib.Path("results") / "run-journal.jsonl"
+        journal = RunJournal(path, resume=args.resume)
+        if args.resume and len(journal):
+            print(f"resuming: {len(journal)} completed chunk(s) in {path}")
+    from repro.core.runner import StudyRunner
+
+    study = ComparativeStudy(world, runner=StudyRunner(world, journal=journal))
     results = {}
     for experiment_id in wanted:
         start = time.time()  # detlint: ignore[DET002] -- operator-facing CLI timing

@@ -112,6 +112,18 @@ def run_experiment(
         ) from None
     if study is None:
         study = ComparativeStudy(world)
+    ctx = world.resilience
+    if ctx is not None:
+        # Quarantine provenance and the deadline budget are attributed
+        # per experiment phase.
+        ctx.begin_phase(experiment_id)
     with study.runner.stats.phase(experiment_id):
         result = spec.runner(study)
-    return result, spec.renderer(result)
+    rendered = spec.renderer(result)
+    if ctx is not None:
+        annotations = report_module.render_resilience_annotations(ctx, experiment_id)
+        if annotations:
+            # Appended only when this phase actually lost data, so a
+            # fault-free run renders byte-identically.
+            rendered = rendered + "\n" + annotations
+    return result, rendered

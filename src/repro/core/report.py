@@ -29,6 +29,7 @@ __all__ = [
     "render_fig2",
     "render_fig3",
     "render_fig4",
+    "render_resilience_annotations",
     "render_stats",
     "render_table1",
     "render_table2",
@@ -194,9 +195,14 @@ def render_stats(study: "ComparativeStudy") -> str:
     their own short-lived copies), and the world's evidence cache.
     """
     stats = study.runner.stats
+    effective = ""
+    if stats.effective_executor and stats.effective_executor != stats.executor:
+        # The pool degraded (e.g. no fork support -> threads); make the
+        # substitution visible next to what was requested.
+        effective = f" (effective: {stats.effective_executor})"
     lines = [
         "Run statistics",
-        f"  runner: workers={stats.workers} executor={stats.executor}",
+        f"  runner: workers={stats.workers} executor={stats.executor}{effective}",
         f"  {'phase':<12} {'wall s':>8} {'queries':>9} {'pool tasks':>11}",
     ]
     for phase in stats.phases.values():
@@ -231,6 +237,55 @@ def render_stats(study: "ComparativeStudy") -> str:
         f"{snippet_stats.hits} hits / {snippet_stats.misses} misses "
         f"(hit rate {100.0 * snippet_stats.hit_rate:.0f}%)"
     )
+    ctx = study.world.resilience
+    if ctx is not None:
+        lines.append(
+            f"  resilience: plan seed={ctx.config.plan.seed} "
+            f"specs={len(ctx.config.plan.specs)} "
+            f"sim clock={ctx.clock.now():.2f}s"
+        )
+        events = stats.resilience_events or ctx.events.snapshot()
+        for name in sorted(events):
+            lines.append(f"    {name:<22} {events[name]:>6}")
+        if not events:
+            lines.append("    (no resilience events)")
+        quarantined = ctx.quarantine.count("quarantined")
+        degraded = ctx.quarantine.count("degraded")
+        if quarantined or degraded:
+            lines.append(
+                f"    quarantine registry: {quarantined} quarantined, "
+                f"{degraded} degraded"
+            )
+    if stats.journal_replays:
+        lines.append(f"  journal: {stats.journal_replays} chunks replayed")
+    return "\n".join(lines)
+
+
+def render_resilience_annotations(resilience, phase: str) -> str:
+    """Per-cell provenance footnote for one experiment's lost data.
+
+    Empty string when the phase quarantined nothing — appending the
+    annotation must not perturb a clean run's rendered output.  Records
+    are sorted (engine, key, site) for deterministic rendering and
+    capped, with an explicit remainder count, so a pathological plan
+    cannot swamp the table it annotates.
+    """
+    records = resilience.quarantine.records(phase)
+    if not records:
+        return ""
+    cap = 20
+    ordered = sorted(records, key=lambda r: (r.engine, r.key, r.site))
+    lines = [
+        f"  ! {len(ordered)} cell(s) degraded by failures "
+        f"(values above may rest on partial data):"
+    ]
+    for record in ordered[:cap]:
+        lines.append(
+            f"    {record.kind}: engine={record.engine} query={record.key} "
+            f"site={record.site} attempts={record.attempts} ({record.reason})"
+        )
+    if len(ordered) > cap:
+        lines.append(f"    ... and {len(ordered) - cap} more")
     return "\n".join(lines)
 
 

@@ -33,7 +33,21 @@ Process pools use the ``fork`` start method and ship the world to
 workers by inheritance (a module-level global set just before the pool
 forks), so nothing as large as a corpus is ever pickled; only query
 chunks go in and answer lists come back.  On platforms without ``fork``
-the runner degrades to threads.
+the runner degrades to threads — with a :class:`RuntimeWarning` and the
+effective executor recorded in :class:`RunStats`, so degraded runs are
+visible.
+
+Resilience (see :mod:`repro.resilience`): when the world carries an
+installed :class:`~repro.resilience.context.ResilienceContext`, the
+runner becomes a containment boundary.  A failing worker chunk is
+retried with deterministic backoff and, if it keeps failing, re-run
+query-by-query in the parent so the surviving queries complete and only
+the truly broken ones are quarantined as degraded answers — the pool is
+never killed.  A :class:`~repro.resilience.journal.RunJournal` records
+each completed (engine, query-chunk) result so ``python -m repro run
+--resume`` replays finished chunks and recomputes only the missing
+ones.  Without a context, failures propagate exactly as before — as a
+:class:`ChunkExecutionError` naming the engine and query ids.
 """
 
 from __future__ import annotations
@@ -41,20 +55,27 @@ from __future__ import annotations
 import multiprocessing
 import threading
 import time
+import warnings
 from collections.abc import Callable, Hashable, Iterator, Sequence
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.engines.base import Answer
 from repro.entities.queries import Query
+from repro.llm.rng import derive_seed
+from repro.resilience.context import ResilienceContext, ResilienceEvents
+from repro.resilience.faults import ResilienceExhausted
+from repro.resilience.journal import RunJournal, journal_key
+from repro.resilience.quarantine import QuarantineRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.world import World
 
 __all__ = [
     "CacheStats",
+    "ChunkExecutionError",
     "EvidenceCache",
     "PhaseStats",
     "RunStats",
@@ -99,7 +120,21 @@ class EvidenceCache:
       begins;
     * thread-safe — ``compute`` runs outside the lock (a racing
       duplicate computation is deterministic, so last-insert-wins is
-      harmless), bookkeeping inside it.
+      harmless), bookkeeping inside it;
+    * exception-safe — a ``compute`` that raises changes nothing: no
+      counter moves, no entry (partial or otherwise) is stored, and the
+      next lookup of the same key computes afresh.  Counters therefore
+      only ever describe *completed* work: the miss is counted by the
+      insert (or, for the loser of a racing duplicate computation, as a
+      hit on the winner's entry).
+
+    With a :class:`~repro.resilience.context.ResilienceContext` attached
+    (``cache.resilience``, wired by ``World.install_resilience``), the
+    compute runs behind the ``"evidence.context"`` fault site: injected
+    retrieval failures are retried with deterministic backoff, and an
+    exhausted compute raises
+    :class:`~repro.resilience.faults.ResilienceExhausted` for the study
+    layer to quarantine.
     """
 
     def __init__(self, limit: int = 8192) -> None:
@@ -109,6 +144,8 @@ class EvidenceCache:
         self._entries: dict[Hashable, Any] = {}
         self._lock = threading.Lock()
         self.stats = CacheStats()
+        #: Optional ResilienceContext guarding the compute path.
+        self.resilience: ResilienceContext | None = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -122,14 +159,22 @@ class EvidenceCache:
             if key in self._entries:
                 self.stats.hits += 1
                 return self._entries[key]
-            self.stats.misses += 1
-        value = compute()
+        ctx = self.resilience
+        if ctx is not None:
+            value = ctx.call("evidence.context", key, compute)
+        else:
+            value = compute()
         with self._lock:
             if key not in self._entries:
+                self.stats.misses += 1
                 self._entries[key] = value
                 while len(self._entries) > self._limit:
                     self._entries.pop(next(iter(self._entries)))
                     self.stats.evictions += 1
+            else:
+                # Lost a racing duplicate computation: the winner's
+                # insert was the one miss; this caller observed a hit.
+                self.stats.hits += 1
             return self._entries[key]
 
     def clear(self) -> None:
@@ -160,6 +205,13 @@ class RunStats:
     experiment registry labels them with the experiment id); pool
     accounting from :class:`StudyRunner` lands on whichever phase is
     active, or an ``(ad hoc)`` bucket outside any phase.
+
+    Beyond phase timing the stats carry the run's resilience telemetry:
+    ``effective_executor`` (what the pool actually ran on, e.g. after a
+    no-``fork`` degrade), ``journal_replays`` (chunks served from the
+    resume journal), and ``resilience_events`` (a snapshot of the
+    context's retry/fault/breaker/quarantine counters, refreshed after
+    every ``StudyRunner.answers`` call).
     """
 
     def __init__(self, workers: int = 1, executor: str = "process") -> None:
@@ -167,9 +219,17 @@ class RunStats:
         self.executor = executor
         self.phases: dict[str, PhaseStats] = {}
         self._stack: list[str] = []
+        self.effective_executor: str | None = None
+        self.journal_replays = 0
+        self.resilience_events: dict[str, int] = {}
+
+    @property
+    def current_phase(self) -> str:
+        """The innermost active phase label (``(ad hoc)`` outside any)."""
+        return self._stack[-1] if self._stack else "(ad hoc)"
 
     def _bucket(self, label: str | None = None) -> PhaseStats:
-        name = label or (self._stack[-1] if self._stack else "(ad hoc)")
+        name = label or self.current_phase
         if name not in self.phases:
             self.phases[name] = PhaseStats(label=name)
         return self.phases[name]
@@ -202,7 +262,7 @@ class RunStats:
 
 
 # ----------------------------------------------------------------------
-# Worker-side entry point (process pools)
+# Worker-side entry points
 
 #: World inherited by forked pool workers.  Set immediately before the
 #: pool is created and cleared right after it shuts down; ``fork``
@@ -211,12 +271,89 @@ class RunStats:
 _WORKER_WORLD: "World | None" = None
 
 
-def _answer_chunk(engine_name: str, queries: list[Query]) -> list[Answer]:
-    """Answer one chunk in a forked worker, via the inherited world."""
+class ChunkExecutionError(RuntimeError):
+    """A worker chunk failed with containment disabled (fail-fast path).
+
+    Wraps the originating exception with the engine name and the query
+    ids of the chunk, so a crash in a pool worker is attributable
+    without digging through executor tracebacks.
+    """
+
+    def __init__(self, engine: str, queries: list[Query], cause: BaseException) -> None:
+        ids = tuple(query.id for query in queries)
+        head = ", ".join(ids[:4]) + (", ..." if len(ids) > 4 else "")
+        super().__init__(
+            f"engine {engine!r} chunk of {len(ids)} queries [{head}] failed: {cause}"
+        )
+        self.engine = engine
+        self.query_ids = ids
+
+
+@dataclass
+class ChunkOutcome:
+    """A process-pool chunk's answers plus the worker's telemetry delta.
+
+    Event counters and quarantine records accumulated inside a forked
+    worker would die with it; the worker ships the deltas home with the
+    answers and the parent merges them, keeping ``render_stats`` honest
+    about work done on the other side of the fork.
+    """
+
+    answers: list[Answer]
+    events: dict[str, int] = field(default_factory=dict)
+    quarantined: tuple[QuarantineRecord, ...] = ()
+
+
+def _execute_chunk(
+    world: "World", engine_name: str, queries: list[Query], attempt: int = 1
+) -> list[Answer]:
+    """Answer one chunk against ``world`` (shared by both executors).
+
+    The ``"runner.chunk"`` fault site lives here: a plan can crash a
+    whole chunk deterministically, keyed by (engine, first query id,
+    size) so a parent-side resubmission — which bumps ``attempt`` —
+    can deterministically succeed.
+    """
+    ctx = world.resilience
+    if ctx is not None and queries:
+        key = (engine_name, queries[0].id, len(queries))
+        ctx.injector.check("runner.chunk", key, attempt, clock=ctx.clock)
+    return world.engines[engine_name].answer_all(queries)
+
+
+def _answer_chunk(
+    engine_name: str, queries: list[Query], attempt: int = 1
+) -> "list[Answer] | ChunkOutcome":
+    """Answer one chunk in a forked worker, via the inherited world.
+
+    With resilience installed, returns a :class:`ChunkOutcome` carrying
+    the worker-local event/quarantine deltas; without, the plain answer
+    list (byte-for-byte the historical protocol).
+    """
     world = _WORKER_WORLD
     if world is None:  # pragma: no cover - defensive; fork guarantees it
         raise RuntimeError("worker has no inherited world")
-    return world.engines[engine_name].answer_all(queries)
+    ctx = world.resilience
+    if ctx is None:
+        return _execute_chunk(world, engine_name, queries, attempt)
+    events_before = ctx.events.snapshot()
+    quarantine_before = len(ctx.quarantine)
+    answers = _execute_chunk(world, engine_name, queries, attempt)
+    return ChunkOutcome(
+        answers=answers,
+        events=ResilienceEvents.delta(events_before, ctx.events.snapshot()),
+        quarantined=ctx.quarantine.records()[quarantine_before:],
+    )
+
+
+def _degraded_answer(engine_name: str, query: Query) -> Answer:
+    """The empty placeholder emitted for a quarantined query.
+
+    Keeps every answer list position-aligned with its workload (the
+    figure-level subsetting indexes by position) while contributing no
+    citations and no ranking — analyses see the cell as missing data.
+    """
+    return Answer(engine=engine_name, query_id=query.id, text="", citations=())
 
 
 def _fork_available() -> bool:
@@ -239,7 +376,8 @@ class StudyRunner:
       answers come back.  Worker-side engine memo caches are forked
       copies and die with the pool, so the parent's caches are never
       mutated concurrently.  Falls back to threads where ``fork`` is
-      unavailable.
+      unavailable (with a warning; ``stats.effective_executor`` records
+      what actually ran).
     * ``"thread"`` — :class:`ThreadPoolExecutor` sharing the parent's
       engines; :meth:`AnswerEngine.answer` inserts under a lock, so the
       shared memo cache is safe (duplicate computations are
@@ -248,6 +386,15 @@ class StudyRunner:
     Determinism invariant: results are keyed by (engine, chunk index)
     and reassembled in submission order, so for any worker count the
     output is byte-identical to ``workers=1``.
+
+    Failure model: without a resilience context a failing chunk raises
+    :class:`ChunkExecutionError` naming the engine and queries (fail
+    fast).  With one installed, the chunk is resubmitted with backoff
+    and, if still failing, re-run query-by-query in the parent; queries
+    that cannot complete are quarantined as degraded answers and the
+    run continues.  ``journal`` (a
+    :class:`~repro.resilience.journal.RunJournal`) replays completed
+    chunks across runs for ``--resume``.
     """
 
     def __init__(
@@ -256,6 +403,7 @@ class StudyRunner:
         workers: int | None = None,
         executor: str | None = None,
         stats: RunStats | None = None,
+        journal: RunJournal | None = None,
     ) -> None:
         config = world.config
         self._world = world
@@ -266,32 +414,198 @@ class StudyRunner:
         if self.executor not in ("process", "thread"):
             raise ValueError(f"unknown executor {self.executor!r}")
         self.stats = stats or RunStats(self.workers, self.executor)
+        self._journal = journal
+        self._config_fingerprint: str | None = None
 
     # ------------------------------------------------------------------
+
+    def _resilience(self) -> ResilienceContext | None:
+        return getattr(self._world, "resilience", None)
 
     def answers(self, queries: Sequence[Query]) -> dict[str, list[Answer]]:
         """Every engine's answers to ``queries``, possibly in parallel."""
         queries = list(queries)
         engines = self._world.engines
+        ctx = self._resilience()
         if self.workers == 1 or len(queries) < 2:
             self.stats.count_pool_work(len(queries) * len(engines), 0)
-            return {
-                name: engine.answer_all(queries)
-                for name, engine in engines.items()
+            results = {
+                name: self._answer_sequential(name, queries, ctx)
+                for name in engines
             }
-        return self._answers_pooled(queries)
+            self._mirror_events(ctx)
+            return results
+        return self._answers_pooled(queries, ctx)
 
     def _chunks(self, queries: list[Query]) -> list[list[Query]]:
         size = max(1, -(-len(queries) // self.workers))  # ceil division
         return [queries[i : i + size] for i in range(0, len(queries), size)]
 
-    def _answers_pooled(self, queries: list[Query]) -> dict[str, list[Answer]]:
+    # ------------------------------------------------------------------
+    # Journal keys and event mirroring
+
+    def _journal_key(self, engine_name: str, queries: list[Query]) -> str:
+        if self._config_fingerprint is None:
+            config = self._world.config
+            self._config_fingerprint = format(
+                derive_seed(
+                    "config", config.seed, config.corpus_scale,
+                    config.study_date, config.sizes,
+                ),
+                "016x",
+            )
+        ctx = self._resilience()
+        plan_fingerprint = "no-resilience" if ctx is None else str(ctx.config.plan)
+        return journal_key(
+            self._config_fingerprint,
+            plan_fingerprint,
+            engine_name,
+            tuple(query.id for query in queries),
+        )
+
+    def _mirror_events(self, ctx: ResilienceContext | None) -> None:
+        if ctx is not None:
+            self.stats.resilience_events = ctx.events.snapshot()
+
+    # ------------------------------------------------------------------
+    # Sequential path
+
+    def _answer_sequential(
+        self, name: str, queries: list[Query], ctx: ResilienceContext | None
+    ) -> list[Answer]:
+        engine = self._world.engines[name]
+        if ctx is None and self._journal is None:
+            return engine.answer_all(queries)
+        key = self._journal_key(name, queries)
+        if self._journal is not None:
+            replayed = self._journal.lookup(key, self._world.corpus)
+            if replayed is not None and len(replayed) == len(queries):
+                self.stats.journal_replays += 1
+                return replayed
+        answers, clean = self._contained_answers(name, engine, queries, ctx)
+        if self._journal is not None and clean:
+            self._journal.record(key, self.stats.current_phase, name, answers)
+        return answers
+
+    def _contained_answers(
+        self, name: str, engine, queries: list[Query], ctx: ResilienceContext | None
+    ) -> tuple[list[Answer], bool]:
+        """Answer query-by-query, quarantining the ones that cannot finish.
+
+        The last rung of the degradation ladder: every query below this
+        point has already exhausted its site-level retries (or hit an
+        open breaker, or a genuine bug).  Returns the position-aligned
+        answers and whether the batch finished clean (journal-worthy).
+        """
+        if ctx is None or ctx.config.fail_fast:
+            return engine.answer_all(queries), True
+        answers: list[Answer] = []
+        clean = True
+        for query in queries:
+            try:
+                answers.append(engine.answer(query))
+            except ResilienceExhausted as exc:
+                clean = False
+                ctx.events.bump("quarantined_queries")
+                ctx.quarantine.record(
+                    QuarantineRecord(
+                        phase=ctx.current_phase, site=exc.site, engine=name,
+                        key=query.id, attempts=exc.attempts, reason=exc.reason,
+                    )
+                )
+                answers.append(_degraded_answer(name, query))
+            except Exception as exc:  # containment boundary: keep the run alive
+                clean = False
+                ctx.events.bump("quarantined_queries")
+                ctx.quarantine.record(
+                    QuarantineRecord(
+                        phase=ctx.current_phase, site="engine.answer", engine=name,
+                        key=query.id, attempts=1,
+                        reason=f"unhandled {type(exc).__name__}: {exc}",
+                    )
+                )
+                answers.append(_degraded_answer(name, query))
+        return answers, clean
+
+    # ------------------------------------------------------------------
+    # Pooled path
+
+    def _submit_chunk(
+        self, pool, use_processes: bool, name: str, chunk: list[Query], attempt: int
+    ) -> Future:
+        if use_processes:
+            return pool.submit(_answer_chunk, name, chunk, attempt)
+        return pool.submit(_execute_chunk, self._world, name, chunk, attempt)
+
+    def _collect_chunk(
+        self,
+        pool,
+        use_processes: bool,
+        name: str,
+        chunk: list[Query],
+        future: Future,
+        ctx: ResilienceContext | None,
+    ) -> tuple[list[Answer], bool]:
+        """One chunk's answers, after containment.  Returns (answers, clean)."""
+        attempt = 1
+        while True:
+            try:
+                raw = future.result()
+            except Exception as exc:
+                if ctx is None or ctx.config.fail_fast:
+                    raise ChunkExecutionError(name, chunk, exc) from exc
+                delay = ctx.config.retry.delay(attempt)
+                if attempt < ctx.config.retry.max_attempts and ctx.deadline_allows(delay):
+                    ctx.clock.sleep(delay)
+                    ctx.events.bump("chunk_retries")
+                    attempt += 1
+                    future = self._submit_chunk(pool, use_processes, name, chunk, attempt)
+                    continue
+                # Chunk-level retries exhausted: salvage the chunk in the
+                # parent, query by query, quarantining only what must be.
+                ctx.events.bump("chunk_fallbacks")
+                return self._contained_answers(
+                    name, self._world.engines[name], chunk, ctx
+                )
+            if isinstance(raw, ChunkOutcome):
+                if ctx is not None:
+                    ctx.events.merge(raw.events)
+                    ctx.quarantine.extend(raw.quarantined)
+                return raw.answers, True
+            return raw, True
+
+    def _answers_pooled(
+        self, queries: list[Query], ctx: ResilienceContext | None
+    ) -> dict[str, list[Answer]]:
         global _WORKER_WORLD
         engines = self._world.engines
         chunks = self._chunks(queries)
         use_processes = self.executor == "process" and _fork_available()
+        if self.executor == "process" and not use_processes:
+            warnings.warn(
+                "fork start method unavailable; StudyRunner degrading from the "
+                "process executor to threads (results are identical, sharing "
+                "semantics differ)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        self.stats.effective_executor = "process" if use_processes else "thread"
 
-        futures: dict[str, list[Future]] = {}
+        # Resume: chunks already journalled replay without touching the pool.
+        keys: dict[tuple[str, int], str] = {}
+        replayed: dict[tuple[str, int], list[Answer]] = {}
+        if self._journal is not None:
+            for name in engines:
+                for index, chunk in enumerate(chunks):
+                    key = self._journal_key(name, chunk)
+                    keys[(name, index)] = key
+                    cached = self._journal.lookup(key, self._world.corpus)
+                    if cached is not None and len(cached) == len(chunk):
+                        self.stats.journal_replays += 1
+                        replayed[(name, index)] = cached
+
+        futures: dict[tuple[str, int], Future] = {}
+        fresh: dict[tuple[str, int], tuple[list[Answer], bool]] = {}
         if use_processes:
             # The one allowlisted shared-global write (see conclint
             # CONC001): publish the world for fork inheritance, retract
@@ -310,28 +624,49 @@ class StudyRunner:
                 pool = ThreadPoolExecutor(max_workers=self.workers)
             try:
                 for name in engines:
-                    if use_processes:
-                        futures[name] = [
-                            pool.submit(_answer_chunk, name, chunk)
-                            for chunk in chunks
-                        ]
-                    else:
-                        futures[name] = [
-                            pool.submit(engines[name].answer_all, chunk)
-                            for chunk in chunks
-                        ]
-                # Reassembly in submission order — not completion order —
+                    for index, chunk in enumerate(chunks):
+                        if (name, index) in replayed:
+                            continue
+                        futures[(name, index)] = self._submit_chunk(
+                            pool, use_processes, name, chunk, 1
+                        )
+                # Collection in submission order — not completion order —
                 # is what makes the output independent of scheduling.
-                results = {
-                    name: [answer for future in futs for answer in future.result()]
-                    for name, futs in futures.items()
-                }
+                for name in engines:
+                    for index, chunk in enumerate(chunks):
+                        slot = (name, index)
+                        if slot in replayed:
+                            continue
+                        fresh[slot] = self._collect_chunk(
+                            pool, use_processes, name, chunk, futures[slot], ctx
+                        )
             finally:
                 pool.shutdown()
         finally:
             if use_processes:
                 _WORKER_WORLD = None
+
+        if self._journal is not None:
+            for slot, (chunk_answers, clean) in fresh.items():
+                if clean:
+                    self._journal.record(
+                        keys[slot], self.stats.current_phase, slot[0], chunk_answers
+                    )
+
+        results = {
+            name: [
+                answer
+                for index in range(len(chunks))
+                for answer in (
+                    replayed[(name, index)]
+                    if (name, index) in replayed
+                    else fresh[(name, index)][0]
+                )
+            ]
+            for name in engines
+        }
         self.stats.count_pool_work(
             len(queries) * len(engines), len(chunks) * len(engines)
         )
+        self._mirror_events(ctx)
         return results

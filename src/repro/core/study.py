@@ -37,6 +37,8 @@ from repro.entities.verticals import (
 )
 from repro.llm.context import ContextWindow
 from repro.llm.model import GroundingMode, RankedAnswer
+from repro.resilience.faults import ResilienceExhausted
+from repro.resilience.quarantine import QuarantineRecord
 
 __all__ = [
     "ComparativeStudy",
@@ -171,16 +173,43 @@ class ComparativeStudy:
         policy = replace(self.EVIDENCE_POLICY, citations_per_answer=depth)
 
         def retrieve() -> ContextWindow:
-            pages = self._world.retriever.select_sources(query.text, policy)
+            # The impl entry point, not select_sources: evidence
+            # retrieval has its own fault site ("evidence.context", on
+            # the cache below), and nesting the engine-side
+            # "retrieval.select_sources" site inside it would run two
+            # retry ladders over one operation.
+            pages = self._world.retriever._select_sources_impl(query.text, policy)
             return context_from_pages(
                 pages,
                 query.text,
                 snippet_cache=self._world.search_engine.snippet_cache,
             )
 
-        return self._world.evidence_cache.get_or_compute(
-            (query.text, policy), retrieve
-        )
+        try:
+            return self._world.evidence_cache.get_or_compute(
+                (query.text, policy), retrieve
+            )
+        except ResilienceExhausted as exc:
+            # Graceful degradation: an exhausted evidence retrieval
+            # empties this query's context, so the table loops skip the
+            # query and the affected cell aggregates to an annotated
+            # NaN instead of killing the run.  The quarantine record
+            # preserves which cell lost data and why.
+            ctx = self._world.resilience
+            if ctx is None or ctx.config.fail_fast:
+                raise
+            ctx.events.bump("evidence_quarantines")
+            ctx.quarantine.record(
+                QuarantineRecord(
+                    phase=ctx.current_phase,
+                    site=exc.site,
+                    engine="evidence",
+                    key=query.id,
+                    attempts=exc.attempts,
+                    reason=exc.reason,
+                )
+            )
+            return ContextWindow([])
 
     def _perturbation_queries(self) -> dict[str, list[Query]]:
         sizes = self._world.config.sizes

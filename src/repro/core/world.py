@@ -20,6 +20,7 @@ from repro.entities.catalog import EntityCatalog, build_default_catalog
 from repro.llm.model import LLMConfig, SimulatedLLM
 from repro.llm.pretraining import PretrainedKnowledge
 from repro.llm.rng import derive_seed
+from repro.resilience.context import ResilienceContext
 from repro.search.engine import SearchEngine
 from repro.webgraph.corpus import Corpus, CorpusConfig, CorpusGenerator
 from repro.webgraph.domains import DomainRegistry, build_default_registry
@@ -45,6 +46,11 @@ class World:
     #: run against this world retrieves each (query, depth) context at
     #: most once (see :class:`repro.core.runner.EvidenceCache`).
     evidence_cache: EvidenceCache = field(default_factory=EvidenceCache, repr=False)
+    #: Optional resilience context (fault injection + retry/breaker/
+    #: quarantine machinery).  ``None`` — the default — leaves every
+    #: execution path byte-identical to a world without the layer;
+    #: install via :meth:`install_resilience`.
+    resilience: "ResilienceContext | None" = field(default=None, repr=False)
 
     @classmethod
     def build(cls, config: StudyConfig | None = None) -> "World":
@@ -117,6 +123,28 @@ class World:
     def google(self) -> AnswerEngine:
         """The traditional-search baseline."""
         return self.engines["Google"]
+
+    def install_resilience(self, context: ResilienceContext | None) -> None:
+        """Attach a resilience context to every fault site in this world.
+
+        Wires the context through the engines (``"engine.answer"``), the
+        retriever (``"retrieval.select_sources"``), and the evidence
+        cache (``"evidence.context"``); the runner picks it up from
+        ``world.resilience`` for chunk containment.  Passing ``None``
+        detaches everything, restoring the exact pre-resilience paths.
+        Forked pool workers inherit the wired world copy-on-write, so
+        fault decisions — pure functions of the plan seed — agree on
+        both sides of the fork.
+        """
+        self.resilience = context
+        for engine in self.engines.values():
+            engine.set_resilience(context)
+        self.retriever.set_resilience(context)
+        self.evidence_cache.resilience = context
+
+    def clear_resilience(self) -> None:
+        """Detach the resilience layer (convenience for tests)."""
+        self.install_resilience(None)
 
     def clear_caches(self) -> None:
         """Reset every world-level memo to a cold state.

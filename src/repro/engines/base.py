@@ -82,6 +82,21 @@ class AnswerEngine(abc.ABC):
         self._cache_lock = threading.Lock()
         self._cache_hits = 0
         self._cache_misses = 0
+        #: Optional ResilienceContext guarding _answer_uncached (the
+        #: "engine.answer" fault site); None leaves the path untouched.
+        self._resilience = None
+
+    def set_resilience(self, context) -> None:
+        """Attach (or detach, with ``None``) a resilience context.
+
+        With one attached, cache misses compute behind the
+        ``"engine.answer"`` fault site: injected faults retry with
+        deterministic backoff, the engine's circuit breaker gates the
+        call, and exhaustion raises ``ResilienceExhausted`` for the
+        runner's containment layer.  Cache hits never re-enter the
+        site — a memoized answer already survived it.
+        """
+        self._resilience = context
 
     @abc.abstractmethod
     def _answer_uncached(self, query: Query) -> Answer:
@@ -113,7 +128,16 @@ class AnswerEngine(abc.ABC):
             return cached
         key = query.cache_key
         cache = self._answer_cache
-        answer = self._answer_uncached(query)
+        ctx = getattr(self, "_resilience", None)
+        if ctx is not None:
+            answer = ctx.call(
+                "engine.answer",
+                (self.name, query.id),
+                lambda: self._answer_uncached(query),
+                engine=self.name,
+            )
+        else:
+            answer = self._answer_uncached(query)
         # Insert first, trim after: a present key is never grounds for
         # eviction, and the cache holds exactly cache_limit entries at
         # steady state instead of oscillating around it.  The lock keeps

@@ -16,6 +16,8 @@ from repro.entities.queries import Query, QueryKind
 from repro.llm.context import ContextWindow, EvidenceSnippet
 from repro.llm.generation import synthesize_answer
 from repro.llm.model import GroundingMode, SimulatedLLM
+from repro.resilience.faults import ResilienceExhausted
+from repro.resilience.quarantine import QuarantineRecord
 from repro.search.snippets import SnippetCache, extract_snippet
 from repro.search.tokenize import tokenize
 from repro.webgraph.pages import Page
@@ -85,6 +87,16 @@ class GenerativeEngine(AnswerEngine):
         self._catalog = catalog
         self._policy = policy
 
+    def set_resilience(self, context) -> None:
+        """Wire the context through the engine AND its retriever.
+
+        The engine fleet shares one retriever that is distinct from the
+        world's evidence retriever, so the engine must propagate the
+        context to its own collaborator (idempotent across the fleet).
+        """
+        super().set_resilience(context)
+        self._retriever.set_resilience(context)
+
     @property
     def policy(self) -> SourcingPolicy:
         return self._policy
@@ -122,7 +134,30 @@ class GenerativeEngine(AnswerEngine):
         if not self._should_search(query, intent):
             return self._prior_only_answer(query)
 
-        sources = self._select_sources(query, intent)
+        try:
+            sources = self._select_sources(query, intent)
+        except ResilienceExhausted as exc:
+            # Rung of the degradation ladder: retrieval is down for this
+            # query, but the engine can still answer from pre-training —
+            # exactly what a web-enabled assistant does when its tool
+            # call fails.  The degraded answer has no citations, so the
+            # sourcing analyses see the cell as missing data.
+            ctx = getattr(self, "_resilience", None)
+            if ctx is None or ctx.config.fail_fast:
+                raise
+            ctx.events.bump("degraded_answers")
+            ctx.quarantine.record(
+                QuarantineRecord(
+                    phase=ctx.current_phase,
+                    site=exc.site,
+                    engine=self.name,
+                    key=query.id,
+                    attempts=exc.attempts,
+                    reason=exc.reason,
+                    kind="degraded",
+                )
+            )
+            return self._prior_only_answer(query)
         ranked: tuple[str, ...] = ()
         if query.kind in (QueryKind.RANKING, QueryKind.COMPARISON) and query.entities:
             context = context_from_pages(

@@ -153,6 +153,9 @@ class Retriever:
         self._scorer = BM25Scorer(search_engine.index).warm()
         self._index = search_engine.index
         self._search_engine = search_engine
+        #: Optional ResilienceContext guarding select_sources (the
+        #: "retrieval.select_sources" fault site); None = untouched path.
+        self._resilience = None
 
         # Pre-training familiarity: how prominent each domain is in the
         # (pre-)training corpus, log-scaled to [0, 1].
@@ -167,6 +170,17 @@ class Retriever:
     def snippet_cache(self):
         """The world's shared per-page sentence cache (one per engine)."""
         return self._search_engine.snippet_cache
+
+    def set_resilience(self, context) -> None:
+        """Attach (or detach, with ``None``) a resilience context.
+
+        With one attached, :meth:`select_sources` runs behind the
+        ``"retrieval.select_sources"`` fault site — simulated retrieval
+        timeouts retry with deterministic backoff; exhaustion surfaces
+        as ``ResilienceExhausted`` for the engine's degradation path
+        (prior-only answers).
+        """
+        self._resilience = context
 
     def familiarity(self, domain: str) -> float:
         """Pre-training prominence of a domain in ``[0, 1]``."""
@@ -308,7 +322,31 @@ class Retriever:
         ``pool`` overrides candidate retrieval (Gemini reranks Google's
         results instead of issuing its own search).  ``intent`` defaults
         to surface-cue detection on the query text.
+
+        With a resilience context attached this is the
+        ``"retrieval.select_sources"`` fault site, keyed by the query
+        text: injected timeouts retry with deterministic backoff and
+        exhaustion raises ``ResilienceExhausted``.
         """
+        ctx = getattr(self, "_resilience", None)
+        if ctx is not None:
+            return ctx.call(
+                "retrieval.select_sources",
+                query_text,
+                lambda: self._select_sources_impl(
+                    query_text, policy, intent=intent, pool=pool
+                ),
+            )
+        return self._select_sources_impl(query_text, policy, intent=intent, pool=pool)
+
+    def _select_sources_impl(
+        self,
+        query_text: str,
+        policy: SourcingPolicy,
+        *,
+        intent: Intent | None = None,
+        pool: list[tuple[float, Page]] | None = None,
+    ) -> list[Page]:
         effective = policy.adapted_to(
             intent if intent is not None else detect_intent(query_text)
         )

@@ -1,0 +1,35 @@
+"""A simulated clock for deterministic backoff and deadlines.
+
+Real retry machinery sleeps on the wall clock; that is both slow and a
+determinism leak (detlint DET002).  :class:`SimClock` replaces it: time
+is a counter advanced only by explicit :meth:`sleep` calls — backoff
+delays and injected timeout durations — so a chaos run's "elapsed time"
+is a pure function of what failed, and two runs with the same fault
+plan observe identical clocks.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Monotonic simulated seconds; thread-safe, starts at zero."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """Advance the clock; negative durations are ignored."""
+        if seconds <= 0:
+            return
+        with self._lock:
+            self._now += seconds

@@ -1,0 +1,144 @@
+"""The run journal: completed (engine, query-chunk) results on disk.
+
+``python -m repro run --journal PATH`` records every chunk the runner
+completes as one JSON line; ``--resume`` reloads the file and replays
+the recorded chunks instead of recomputing them, so an interrupted (or
+chaos-aborted) study continues from where it stopped — only the missing
+chunks run.
+
+Keys are content hashes (:func:`derive_seed`) over the study config
+fingerprint, the fault plan, the engine, and the chunk's query ids, so
+a journal written under one configuration can never leak results into
+another.  Answers are stored citation-light (url + domain); pages are
+rehydrated from the deterministic corpus at replay, and any url the
+corpus cannot resolve invalidates the entry (the chunk just recomputes).
+Chunks that ended with quarantined queries are *not* recorded — the
+journal holds completed results only.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+
+from repro.engines.base import Answer, Citation
+from repro.llm.rng import derive_seed
+
+__all__ = ["RunJournal", "journal_key"]
+
+
+def journal_key(
+    config_fingerprint: str, plan_fingerprint: str, engine: str, query_ids: tuple[str, ...]
+) -> str:
+    """Content hash identifying one (config, plan, engine, chunk)."""
+    return format(
+        derive_seed("journal", config_fingerprint, plan_fingerprint, engine, *query_ids),
+        "016x",
+    )
+
+
+def _serialize_answer(answer: Answer) -> dict:
+    return {
+        "engine": answer.engine,
+        "query_id": answer.query_id,
+        "text": answer.text,
+        "ranked": list(answer.ranked_entities),
+        "citations": [
+            {"url": c.url, "domain": c.domain, "paged": c.page is not None}
+            for c in answer.citations
+        ],
+    }
+
+
+def _deserialize_answer(raw: dict, corpus) -> Answer | None:
+    """Rebuild one answer; ``None`` when the corpus cannot rehydrate it."""
+    citations = []
+    for item in raw["citations"]:
+        page = None
+        if item["paged"]:
+            try:
+                page = corpus.by_url(item["url"])
+            except KeyError:
+                return None
+        citations.append(Citation(url=item["url"], domain=item["domain"], page=page))
+    return Answer(
+        engine=raw["engine"],
+        query_id=raw["query_id"],
+        text=raw["text"],
+        citations=tuple(citations),
+        ranked_entities=tuple(raw["ranked"]),
+    )
+
+
+class RunJournal:
+    """Append-only chunk-result journal behind ``run --journal/--resume``.
+
+    With ``resume=True`` an existing file is loaded and appended to;
+    otherwise the file is truncated so stale entries from a previous
+    configuration cannot shadow fresh work.  Lines that fail to parse
+    are skipped (a crash mid-write leaves at most one torn tail line).
+    Writes open/append/close per record — no long-lived handle crosses
+    a ``fork``, and every write is flushed by close.
+    """
+
+    def __init__(self, path: str | pathlib.Path, resume: bool = False) -> None:
+        self.path = pathlib.Path(path)
+        self.resumed = resume
+        self._entries: dict[str, dict] = {}
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if resume and self.path.exists():
+            self._load()
+        else:
+            self.path.write_text("")
+
+    def _load(self) -> None:
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                key = entry["key"]
+                entry["answers"]
+            except (ValueError, KeyError, TypeError):
+                continue
+            self._entries[key] = entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: str, corpus) -> list[Answer] | None:
+        """Replay one chunk, or ``None`` if absent / not rehydratable."""
+        with self._lock:
+            entry = self._entries.get(key)
+        if entry is None:
+            return None
+        answers = []
+        for raw in entry["answers"]:
+            answer = _deserialize_answer(raw, corpus)
+            if answer is None:
+                return None
+            answers.append(answer)
+        return answers
+
+    def record(
+        self, key: str, phase: str, engine: str, answers: list[Answer]
+    ) -> None:
+        """Persist one completed chunk (idempotent per key)."""
+        entry = {
+            "key": key,
+            "phase": phase,
+            "engine": engine,
+            "answers": [_serialize_answer(a) for a in answers],
+        }
+        with self._lock:
+            if key in self._entries:
+                return
+            self._entries[key] = entry
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")

@@ -1,0 +1,65 @@
+"""The quarantine registry: which cells failed, where, and why.
+
+When the resilience ladder runs out (retries exhausted, deadline spent,
+breaker open), the affected query is *quarantined* rather than fatal:
+the study keeps running, the cell it fed either degrades or goes NaN,
+and a :class:`QuarantineRecord` preserves the provenance — experiment
+phase, fault site, engine, query, attempt count, reason — so the report
+can annotate exactly which numbers lost data.  ``kind`` distinguishes
+full quarantine (the query produced no usable answer) from degradation
+(a fallback answer was produced, e.g. prior-only with no citations).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["Quarantine", "QuarantineRecord"]
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """Provenance of one quarantined or degraded query."""
+
+    phase: str
+    site: str
+    engine: str
+    key: str
+    attempts: int
+    reason: str
+    kind: str = "quarantined"  # or "degraded"
+
+
+class Quarantine:
+    """Append-only, lock-guarded record list (shared across threads)."""
+
+    def __init__(self) -> None:
+        self._records: list[QuarantineRecord] = []
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def record(self, record: QuarantineRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def extend(self, records: tuple[QuarantineRecord, ...]) -> None:
+        """Merge records collected in a forked pool worker."""
+        with self._lock:
+            self._records.extend(records)
+
+    def records(self, phase: str | None = None) -> tuple[QuarantineRecord, ...]:
+        """A snapshot, optionally filtered to one experiment phase."""
+        with self._lock:
+            snapshot = tuple(self._records)
+        if phase is None:
+            return snapshot
+        return tuple(r for r in snapshot if r.phase == phase)
+
+    def count(self, kind: str | None = None) -> int:
+        with self._lock:
+            if kind is None:
+                return len(self._records)
+            return sum(1 for r in self._records if r.kind == kind)

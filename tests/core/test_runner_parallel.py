@@ -61,7 +61,7 @@ class TestParallelDeterminism:
         assert sequential == parallel
 
 
-def _explode_chunk(engine_name, queries):
+def _explode_chunk(engine_name, queries, attempt=1):
     """Module-level (picklable) stand-in for a crashing worker chunk."""
     raise RuntimeError("chunk exploded")
 
@@ -103,6 +103,92 @@ class TestWorkerWorldHandshake:
         assert runner_module._WORKER_WORLD is None
 
 
+class TestWorkerExceptionPropagation:
+    """A raising chunk must fail fast (no resilience) and say where.
+
+    The error names the originating engine and query ids under both
+    executors; with a resilience context installed the same failure is
+    contained instead (see tests/resilience/test_containment.py).
+    """
+
+    def _queries(self, world):
+        from repro.entities.queries import ranking_queries
+
+        return ranking_queries(world.catalog, count=4, seed=29)
+
+    def _assert_attributed(self, excinfo, world, queries):
+        error = excinfo.value
+        assert error.engine in world.engines
+        assert set(error.query_ids) <= {q.id for q in queries}
+        message = str(error)
+        assert error.engine in message
+        assert error.query_ids[0] in message
+        assert "chunk exploded" in message
+
+    def test_process_executor_reports_engine_and_queries(
+        self, tiny_world, monkeypatch
+    ):
+        import repro.core.runner as runner_module
+
+        monkeypatch.setattr(runner_module, "_answer_chunk", _explode_chunk)
+        runner = StudyRunner(tiny_world, workers=2, executor="process")
+        queries = self._queries(tiny_world)
+        with pytest.raises(runner_module.ChunkExecutionError) as excinfo:
+            runner.answers(queries)
+        self._assert_attributed(excinfo, tiny_world, queries)
+
+    def test_thread_executor_reports_engine_and_queries(
+        self, tiny_world, monkeypatch
+    ):
+        import repro.core.runner as runner_module
+
+        def _explode(world, engine_name, queries, attempt=1):
+            raise RuntimeError("chunk exploded")
+
+        monkeypatch.setattr(runner_module, "_execute_chunk", _explode)
+        runner = StudyRunner(tiny_world, workers=2, executor="thread")
+        queries = self._queries(tiny_world)
+        with pytest.raises(runner_module.ChunkExecutionError) as excinfo:
+            runner.answers(queries)
+        self._assert_attributed(excinfo, tiny_world, queries)
+
+
+class TestExecutorDegradation:
+    """No-fork platforms degrade to threads — loudly and visibly."""
+
+    def _queries(self, world):
+        from repro.entities.queries import ranking_queries
+
+        return ranking_queries(world.catalog, count=4, seed=31)
+
+    def test_no_fork_degrades_to_threads_with_warning(
+        self, tiny_world, monkeypatch
+    ):
+        import repro.core.runner as runner_module
+
+        monkeypatch.setattr(runner_module, "_fork_available", lambda: False)
+        runner = StudyRunner(tiny_world, workers=2, executor="process")
+        with pytest.warns(RuntimeWarning, match="fork start method unavailable"):
+            answers = runner.answers(self._queries(tiny_world))
+        assert set(answers) == set(tiny_world.engines)
+        assert runner.stats.effective_executor == "thread"
+
+        from repro.core.report import render_stats
+
+        study = ComparativeStudy(tiny_world, runner=runner)
+        assert "(effective: thread)" in render_stats(study)
+
+    def test_fork_platform_records_effective_process(self, tiny_world):
+        runner = StudyRunner(tiny_world, workers=2, executor="process")
+        runner.answers(self._queries(tiny_world))
+        assert runner.stats.effective_executor == "process"
+
+        from repro.core.report import render_stats
+
+        study = ComparativeStudy(tiny_world, runner=runner)
+        assert "(effective:" not in render_stats(study)
+
+
 class TestEvidenceCache:
     def test_tables_share_contexts_with_zero_duplicate_retrievals(
         self, tiny_world
@@ -137,6 +223,67 @@ class TestEvidenceCache:
         cold = study.perturbation_sensitivity()
         warm = study.perturbation_sensitivity()
         assert cold == warm
+
+    def test_failing_compute_leaves_cache_clean(self):
+        # A compute that raises must not count a miss it never delivered,
+        # nor leave a poisoned entry; the next lookup computes afresh.
+        cache = EvidenceCache()
+
+        def boom():
+            raise ValueError("retrieval fell over")
+
+        with pytest.raises(ValueError, match="retrieval fell over"):
+            cache.get_or_compute("k", boom)
+        assert "k" not in cache
+        assert cache.stats.misses == 0
+        assert cache.stats.hits == 0
+
+        assert cache.get_or_compute("k", lambda: 7) == 7
+        assert cache.stats.misses == 1
+        assert cache.stats.misses == len(cache)
+
+    def test_racing_failing_compute_does_not_poison_winner(self):
+        # Regression for the miss-then-hit bug: a failing compute racing
+        # a succeeding one used to pre-count its miss, breaking the
+        # misses == len(cache) invariant the sharing tests rely on.
+        # The barrier sits *inside* the computes, so every thread has
+        # already probed (and missed) before any compute can finish —
+        # the failures genuinely race the successful insert.
+        import threading
+
+        cache = EvidenceCache()
+        n_fail = 3
+        barrier = threading.Barrier(n_fail + 1)
+        errors = []
+
+        def failing_compute():
+            barrier.wait()
+            raise ValueError("injected")
+
+        def failing():
+            try:
+                cache.get_or_compute("k", failing_compute)
+            except ValueError as exc:
+                errors.append(exc)
+
+        def succeeding_compute():
+            barrier.wait()
+            return 42
+
+        threads = [threading.Thread(target=failing) for _ in range(n_fail)] + [
+            threading.Thread(
+                target=lambda: cache.get_or_compute("k", succeeding_compute)
+            )
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert len(errors) == n_fail
+        assert cache.get_or_compute("k", lambda: -1) == 42  # not poisoned
+        assert cache.stats.misses == 1 == len(cache)
+        assert cache.stats.hits == 1  # the final probe only
 
     def test_limit_evicts_fifo(self):
         cache = EvidenceCache(limit=2)

@@ -1,0 +1,40 @@
+"""Fixtures for the chaos / resilience suite.
+
+The chaos world is module-scoped and owned by this suite (not the
+session-shared ``tiny_world``): these tests install and tear down
+resilience contexts and inject faults, and must never leak a wired
+world — or warm caches shaped by injected degradation — into the
+determinism suites.
+"""
+
+import pytest
+
+from repro.core.config import StudyConfig, WorkloadSizes
+from repro.core.world import World
+
+#: Smallest workload the validators accept; the suite asserts execution
+#: semantics (retry, quarantine, replay), not the paper's shape claims.
+CHAOS_SIZES = WorkloadSizes(
+    ranking_queries=20,
+    comparison_popular=6,
+    comparison_niche=6,
+    intent_queries=12,
+    freshness_queries_per_vertical=5,
+    perturbation_queries=3,
+    perturbation_runs=2,
+    pairwise_queries=2,
+    citation_queries=6,
+)
+
+
+@pytest.fixture(scope="module")
+def chaos_world():
+    return World.build(StudyConfig(seed=13, corpus_scale=0.35, sizes=CHAOS_SIZES))
+
+
+@pytest.fixture(autouse=True)
+def _detach_resilience(chaos_world):
+    """Every test starts and ends with a clean, unwired world."""
+    chaos_world.clear_resilience()
+    yield
+    chaos_world.clear_resilience()

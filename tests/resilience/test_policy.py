@@ -1,0 +1,180 @@
+"""Retry backoff, circuit breaking, deadline budgets, and ctx.call."""
+
+import pytest
+
+from repro.resilience import (
+    CircuitBreaker,
+    FaultPlan,
+    InjectedFault,
+    ResilienceConfig,
+    ResilienceContext,
+    ResilienceExhausted,
+    RetryPolicy,
+    SimClock,
+)
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff_capped(self):
+        policy = RetryPolicy(max_attempts=6, base_delay=1.0, multiplier=2.0, max_delay=5.0)
+        assert [policy.delay(a) for a in (1, 2, 3, 4)] == [1.0, 2.0, 4.0, 5.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+
+class TestCircuitBreaker:
+    def test_opens_at_threshold_and_short_circuits(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(clock, failure_threshold=2, cooldown=100.0)
+        assert breaker.allow()
+        assert not breaker.record_exhaustion()
+        assert not breaker.is_open
+        assert breaker.record_exhaustion()  # threshold reached: opens
+        assert breaker.is_open
+        assert not breaker.allow()
+        assert breaker.short_circuits == 1
+        assert breaker.opens == 1
+
+    def test_half_open_trial_after_cooldown(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(clock, failure_threshold=1, cooldown=10.0)
+        breaker.record_exhaustion()
+        assert not breaker.allow()
+        clock.sleep(10.0)
+        assert breaker.allow()  # half-open trial
+        breaker.record_success()
+        assert not breaker.is_open
+        assert breaker.allow()
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(SimClock(), failure_threshold=2)
+        breaker.record_exhaustion()
+        breaker.record_success()
+        assert not breaker.record_exhaustion()  # count restarted
+        assert not breaker.is_open
+
+
+def _always_fault(site="engine.answer"):
+    return FaultPlan.parse(f"{site}:1.0:inf", seed=0)
+
+
+def _recoverable(site="engine.answer", failures=1):
+    return FaultPlan.parse(f"{site}:1.0:{failures}", seed=0)
+
+
+class TestContextCall:
+    def test_recoverable_fault_retries_then_succeeds(self):
+        ctx = ResilienceContext(ResilienceConfig(plan=_recoverable(failures=2)))
+        calls = []
+        result = ctx.call("engine.answer", "k", lambda: calls.append(1) or "ok")
+        assert result == "ok"
+        assert len(calls) == 1  # injection fires before fn; fn ran once
+        assert ctx.events.get("retries") == 2
+        assert ctx.events.get("faults_injected") == 2
+        assert ctx.events.get("exhausted") == 0
+        # Backoff slept on the simulated clock: 0.1 + 0.2.
+        assert ctx.clock.now() == pytest.approx(0.3)
+
+    def test_unrecoverable_fault_exhausts(self):
+        ctx = ResilienceContext(ResilienceConfig(plan=_always_fault()))
+        with pytest.raises(ResilienceExhausted) as excinfo:
+            ctx.call("engine.answer", "k", lambda: "never")
+        assert excinfo.value.attempts == ctx.config.retry.max_attempts
+        assert ctx.events.get("exhausted") == 1
+
+    def test_fail_fast_propagates_the_raw_fault(self):
+        ctx = ResilienceContext(
+            ResilienceConfig(plan=_recoverable(), fail_fast=True)
+        )
+        with pytest.raises(InjectedFault):
+            ctx.call("engine.answer", "k", lambda: "never")
+        assert ctx.events.get("retries") == 0
+
+    def test_real_exceptions_propagate_untouched(self):
+        ctx = ResilienceContext(ResilienceConfig(plan=FaultPlan()))
+
+        def bug():
+            raise KeyError("genuine bug")
+
+        with pytest.raises(KeyError, match="genuine bug"):
+            ctx.call("engine.answer", "k", bug)
+        assert ctx.events.get("retries") == 0
+
+    def test_breaker_counts_exhaustions_not_transients(self):
+        # Recoverable faults retry to success; the breaker must never
+        # see them — the invariant that keeps recoverable chaos runs
+        # byte-identical to clean ones.
+        ctx = ResilienceContext(ResilienceConfig(plan=_recoverable()))
+        for i in range(20):
+            ctx.call("engine.answer", f"k-{i}", lambda: "ok", engine="GPT-4o")
+        assert not ctx.breaker_for("GPT-4o").is_open
+        assert ctx.events.get("breaker_opens") == 0
+
+    def test_breaker_opens_after_threshold_exhaustions(self):
+        ctx = ResilienceContext(
+            ResilienceConfig(plan=_always_fault(), breaker_threshold=2)
+        )
+        for i in range(2):
+            with pytest.raises(ResilienceExhausted):
+                ctx.call("engine.answer", f"k-{i}", lambda: "never", engine="GPT-4o")
+        assert ctx.breaker_for("GPT-4o").is_open
+        assert ctx.events.get("breaker_opens") == 1
+        # Subsequent calls short-circuit without invoking fn at all.
+        with pytest.raises(ResilienceExhausted) as excinfo:
+            ctx.call("engine.answer", "k-3", lambda: "never", engine="GPT-4o")
+        assert excinfo.value.attempts == 0
+        assert excinfo.value.reason == "circuit open"
+        assert ctx.events.get("breaker_short_circuits") == 1
+        # The other engine's breaker is unaffected.
+        assert not ctx.breaker_for("Gemini").is_open
+
+    def test_deadline_budget_stops_retries_early(self):
+        # Budget smaller than the first backoff delay: one attempt, then
+        # exhaustion citing the budget.
+        ctx = ResilienceContext(
+            ResilienceConfig(
+                plan=_recoverable(failures=2),
+                retry=RetryPolicy(max_attempts=5, base_delay=10.0),
+                deadline_budget=5.0,
+            )
+        )
+        ctx.begin_phase("table1")
+        with pytest.raises(ResilienceExhausted) as excinfo:
+            ctx.call("engine.answer", "k", lambda: "never")
+        assert "deadline budget" in excinfo.value.reason
+        assert excinfo.value.attempts == 1
+
+    def test_begin_phase_resets_the_budget(self):
+        ctx = ResilienceContext(
+            ResilienceConfig(plan=FaultPlan(), deadline_budget=1.0)
+        )
+        ctx.begin_phase("fig1")
+        ctx.clock.sleep(5.0)  # fig1's budget is gone
+        assert not ctx.deadline_allows(0.5)
+        ctx.begin_phase("fig2")  # fresh budget
+        assert ctx.deadline_allows(0.5)
+
+
+class TestEventDeltas:
+    def test_snapshot_merge_delta_round_trip(self):
+        from repro.resilience import ResilienceEvents
+
+        events = ResilienceEvents()
+        events.bump("retries", 2)
+        before = events.snapshot()
+        events.bump("retries")
+        events.bump("exhausted")
+        delta = ResilienceEvents.delta(before, events.snapshot())
+        assert delta == {"exhausted": 1, "retries": 1}
+
+        other = ResilienceEvents()
+        other.merge(delta)
+        assert other.snapshot() == delta

@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test chaos lint detlint conclint lint-baseline conclint-baseline bench bench-paper study calibrate stability examples clean
+.PHONY: install test chaos lint detlint conclint lint-baseline conclint-baseline bench bench-paper serve serve-smoke study calibrate stability examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -33,6 +33,16 @@ bench:
 
 bench-paper:
 	REPRO_BENCH_SCALE=paper pytest benchmarks/ --benchmark-only --benchmark-disable-gc
+
+# A demo drain of the serving tier: zipfian stream, coalescing stats,
+# and the width-independent answer digest on stdout.
+serve:
+	python -m repro serve --requests 512 --qps 64 --burstiness 4 --workers 4
+
+# The serving gate CI runs: exact determinism checks plus ratio-gated
+# timings against the baselines in BENCH_serving.json.
+serve-smoke:
+	python tools/serve_smoke.py
 
 study:
 	python tools/run_full_study.py results/full

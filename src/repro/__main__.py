@@ -13,6 +13,9 @@ Subcommands:
 * ``replicate --seeds 1 2 3`` — rerun the headline metrics across seeds
   and report claim stability with bootstrap CIs.
 * ``snapshot PATH`` — archive the world's corpus as a JSON-lines file.
+* ``serve`` — run the answer-serving loop over a warm world under a
+  deterministic zipfian load (see :mod:`repro.serve`); ``--bench-json``
+  records latency percentiles and throughput (``BENCH_serving.json``).
 * ``lint`` — run detlint, the determinism & reproducibility linter,
   over the library source (see :mod:`repro.devtools.detlint`).
 * ``conclint`` — run the interprocedural concurrency-safety analyzer
@@ -84,6 +87,27 @@ def _build_parser() -> argparse.ArgumentParser:
         default="process",
         help="pool kind for --workers > 1 (default: process)",
     )
+    chaos_options = argparse.ArgumentParser(add_help=False)
+    chaos_options.add_argument(
+        "--chaos",
+        action="append",
+        default=None,
+        metavar="SITE[@MATCH]:RATE[:FAILURES[:KIND]]",
+        help="inject deterministic faults at a site (repeatable), e.g. "
+        "'engine.answer:0.2:2:error' or 'engine.answer@Gemini:1.0:inf'; "
+        "implies the resilience layer even with an empty plan",
+    )
+    chaos_options.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for the fault plan's deterministic selection rolls (default 0)",
+    )
+    chaos_options.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="strict mode: propagate injected faults instead of degrading",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the experiment registry")
@@ -92,7 +116,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "world", parents=[study_options], help="build a world and print its inventory"
     )
 
-    run = sub.add_parser("run", parents=[study_options], help="run experiments")
+    run = sub.add_parser(
+        "run", parents=[study_options, chaos_options], help="run experiments"
+    )
     run.add_argument(
         "experiments",
         nargs="*",
@@ -104,26 +130,6 @@ def _build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print runner/cache statistics after the experiments",
-    )
-    run.add_argument(
-        "--chaos",
-        action="append",
-        default=None,
-        metavar="SITE:RATE[:FAILURES[:KIND]]",
-        help="inject deterministic faults at a site (repeatable), e.g. "
-        "'engine.answer:0.2:2:error' or 'retrieval.select_sources:0.1:inf:timeout'; "
-        "implies the resilience layer even with an empty plan",
-    )
-    run.add_argument(
-        "--chaos-seed",
-        type=int,
-        default=0,
-        help="seed for the fault plan's deterministic selection rolls (default 0)",
-    )
-    run.add_argument(
-        "--fail-fast",
-        action="store_true",
-        help="strict mode: propagate injected faults instead of degrading",
     )
     run.add_argument(
         "--journal",
@@ -150,6 +156,62 @@ def _build_parser() -> argparse.ArgumentParser:
         "snapshot", parents=[study_options], help="archive the corpus"
     )
     snapshot.add_argument("path", type=pathlib.Path, help="snapshot destination")
+
+    serve = sub.add_parser(
+        "serve",
+        parents=[study_options, chaos_options],
+        help="run the answer-serving loop under a deterministic generated load",
+    )
+    serve.add_argument(
+        "--requests",
+        type=_positive_int,
+        default=512,
+        help="requests in the generated stream (default 512)",
+    )
+    serve.add_argument(
+        "--qps",
+        type=float,
+        default=64.0,
+        help="long-run arrival rate in requests per simulated second (default 64)",
+    )
+    serve.add_argument(
+        "--burstiness",
+        type=float,
+        default=4.0,
+        help="mean burst size; 1 is a plain Poisson stream (default 4)",
+    )
+    serve.add_argument(
+        "--zipf-s",
+        type=float,
+        default=1.1,
+        help="zipf exponent over query popularity ranks (default 1.1)",
+    )
+    serve.add_argument(
+        "--pool-size",
+        type=_positive_int,
+        default=96,
+        help="distinct queries in the sampled pool (default 96)",
+    )
+    serve.add_argument(
+        "--engine",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict the stream to an engine (repeatable; default: full fleet)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=_positive_int,
+        default=None,
+        help="admission window before submitters block (default 4 x workers)",
+    )
+    serve.add_argument(
+        "--bench-json",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="record latency percentiles + throughput (e.g. BENCH_serving.json)",
+    )
 
     ask = sub.add_parser(
         "ask", parents=[study_options],
@@ -213,6 +275,26 @@ def _cmd_world(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_chaos(args: argparse.Namespace, world: World) -> bool:
+    """Wire the resilience layer when ``--chaos``/``--fail-fast`` ask for it.
+
+    Returns False (after printing to stderr) on a malformed spec.
+    """
+    if args.chaos is None and not args.fail_fast:
+        return True
+    from repro.resilience import FaultPlan, ResilienceConfig, ResilienceContext
+
+    try:
+        plan = FaultPlan.parse(",".join(args.chaos or ()), seed=args.chaos_seed)
+    except ValueError as exc:
+        print(f"bad --chaos spec: {exc}", file=sys.stderr)
+        return False
+    world.install_resilience(
+        ResilienceContext(ResilienceConfig(plan=plan, fail_fast=args.fail_fast))
+    )
+    return True
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     wanted = args.experiments or list(EXPERIMENTS)
     unknown = [e for e in wanted if e not in EXPERIMENTS]
@@ -221,19 +303,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
     world = World.build(_config(args))
-    if args.chaos is not None or args.fail_fast:
-        from repro.resilience import FaultPlan, ResilienceConfig, ResilienceContext
-
-        try:
-            plan = FaultPlan.parse(",".join(args.chaos or ()), seed=args.chaos_seed)
-        except ValueError as exc:
-            print(f"bad --chaos spec: {exc}", file=sys.stderr)
-            return 2
-        world.install_resilience(
-            ResilienceContext(
-                ResilienceConfig(plan=plan, fail_fast=args.fail_fast)
-            )
-        )
+    if not _install_chaos(args, world):
+        return 2
     journal = None
     if args.journal is not None or args.resume:
         from repro.resilience import RunJournal
@@ -259,6 +330,62 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.json.parent.mkdir(parents=True, exist_ok=True)
         args.json.write_text(results_to_json(results))
         print(f"\nraw results written to {args.json}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.report import render_serve_stats
+    from repro.serve import LoadProfile, answers_digest, generate_requests
+
+    world = World.build(_config(args))
+    if not _install_chaos(args, world):
+        return 2
+    try:
+        profile = LoadProfile(
+            requests=args.requests,
+            qps=args.qps,
+            burstiness=args.burstiness,
+            zipf_s=args.zipf_s,
+            pool_size=args.pool_size,
+            engines=tuple(args.engine or ()),
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"bad load profile: {exc}", file=sys.stderr)
+        return 2
+    requests = generate_requests(world.catalog, profile)
+    workers = args.workers if args.workers is not None else 4
+    loop = world.serve_loop(workers=workers, max_pending=args.max_pending)
+    results = loop.serve(requests)
+    digest = answers_digest(results)
+    snapshot = loop.stats.snapshot()
+    print(render_serve_stats(snapshot))
+    print(f"  workers: {workers}")
+    print(f"  answers digest: {digest}")
+    if args.bench_json is not None:
+        payload = {}
+        if args.bench_json.exists():
+            payload = json.loads(args.bench_json.read_text())
+        payload["serving"] = {
+            **snapshot.payload(),
+            "workers": workers,
+            "answers_digest": digest,
+            "profile": {
+                "requests": profile.requests,
+                "qps": profile.qps,
+                "burstiness": profile.burstiness,
+                "zipf_s": profile.zipf_s,
+                "pool_size": profile.pool_size,
+                "seed": profile.seed,
+            },
+        }
+        args.bench_json.parent.mkdir(parents=True, exist_ok=True)
+        args.bench_json.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"  serving bench recorded to {args.bench_json}")
     return 0
 
 
@@ -346,6 +473,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_replicate(args)
     if args.command == "snapshot":
         return _cmd_snapshot(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "ask":
         return _cmd_ask(args)
     if args.command == "lint":

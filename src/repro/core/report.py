@@ -30,6 +30,7 @@ __all__ = [
     "render_fig3",
     "render_fig4",
     "render_resilience_annotations",
+    "render_serve_stats",
     "render_stats",
     "render_table1",
     "render_table2",
@@ -258,6 +259,38 @@ def render_stats(study: "ComparativeStudy") -> str:
             )
     if stats.journal_replays:
         lines.append(f"  journal: {stats.journal_replays} chunks replayed")
+    return "\n".join(lines)
+
+
+def render_serve_stats(snapshot) -> str:
+    """One serve run's accounting, paper-report style.
+
+    Takes a :class:`~repro.serve.stats.ServeSnapshot` (or anything
+    shaped like one).  The hit/coalesce/miss split is the serving
+    tier's headline: misses are the only requests that computed, hits
+    were already memoized, and coalesced requests piggybacked on an
+    in-flight duplicate — together they are the work the tier absorbed.
+    """
+    outcomes = snapshot.outcomes
+    lines = [
+        "Serving statistics",
+        f"  requests: {snapshot.requests} over {snapshot.sim_seconds:.1f} "
+        f"simulated s ({snapshot.wall_seconds:.2f} wall s, "
+        f"{snapshot.throughput_rps:.0f} req/s)",
+        f"  outcomes: hit {outcomes['hit']}  coalesced "
+        f"{outcomes['coalesced']}  miss {outcomes['miss']}  shed "
+        f"{outcomes['shed']}  degraded {outcomes['degraded']}",
+        f"  duplicate absorption: "
+        f"{100.0 * snapshot.duplicate_absorption:.1f}% of answered "
+        "requests served without a computation",
+        f"  admission waits: {snapshot.admission_waits}",
+        f"  service latency: p50 {snapshot.service.p50_ms:.2f} ms  "
+        f"p90 {snapshot.service.p90_ms:.2f} ms  "
+        f"p99 {snapshot.service.p99_ms:.2f} ms  "
+        f"max {snapshot.service.max_ms:.2f} ms",
+        f"  queue delay: p50 {snapshot.queue_delay.p50_ms:.2f} ms  "
+        f"p99 {snapshot.queue_delay.p99_ms:.2f} ms",
+    ]
     return "\n".join(lines)
 
 

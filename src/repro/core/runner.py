@@ -117,7 +117,9 @@ class EvidenceCache:
 
     * one retrieval per key per world — a second lookup is a hit, never
       a recompute, so ``stats.misses == len(cache)`` until eviction
-      begins;
+      begins.  Hit-vs-miss is decided by key *presence* under the lock,
+      never by comparing the value against ``None``, so a compute that
+      legitimately returns ``None`` memoizes once like any other value;
     * thread-safe — ``compute`` runs outside the lock (a racing
       duplicate computation is deterministic, so last-insert-wins is
       harmless), bookkeeping inside it;

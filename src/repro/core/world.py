@@ -10,6 +10,7 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.config import StudyConfig
 from repro.core.runner import EvidenceCache
@@ -24,6 +25,9 @@ from repro.resilience.context import ResilienceContext
 from repro.search.engine import SearchEngine
 from repro.webgraph.corpus import Corpus, CorpusConfig, CorpusGenerator
 from repro.webgraph.domains import DomainRegistry, build_default_registry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve.loop import ServeLoop
 
 __all__ = ["World"]
 
@@ -145,6 +149,19 @@ class World:
     def clear_resilience(self) -> None:
         """Detach the resilience layer (convenience for tests)."""
         self.install_resilience(None)
+
+    def serve_loop(self, **kwargs) -> "ServeLoop":
+        """An answer-serving loop over this (warm) world.
+
+        Keyword arguments go to :class:`repro.serve.loop.ServeLoop`
+        (``workers``, ``max_pending``, ``stats``).  If a resilience
+        context is installed the loop shares its clock and breakers, so
+        load-generator arrivals and breaker cooldowns live on one
+        simulated timeline.
+        """
+        from repro.serve.loop import ServeLoop
+
+        return ServeLoop(self, **kwargs)
 
     def clear_caches(self) -> None:
         """Reset every world-level memo to a cold state.

@@ -110,24 +110,41 @@ class AnswerEngine(abc.ABC):
         # first use), keeping the memo's hit path to one dict probe.
         return query.cache_key
 
+    def cached_answer(self, query: Query) -> Answer | None:
+        """The memoized answer for ``query``, or ``None`` — no counters.
+
+        An uncounted peek for callers that do their own hit/miss
+        accounting (the serving tier classifies hit vs coalesced vs
+        miss before deciding whether to enter the single-flight group).
+        """
+        cache = getattr(self, "_answer_cache", None)
+        if cache is None:
+            return None
+        return cache.get(query.cache_key)
+
     def answer(self, query: Query) -> Answer:
         """Answer ``query`` (memoized)."""
-        try:
-            # Unlocked probe: dict reads are GIL-atomic, entries are
-            # immutable once stored, and eviction only pops whole
-            # entries — a stale read is at worst a recomputed miss.
-            # Counter writes stay under the lock (the hit-path race the
-            # concurrency tests pin).
-            cached = self._answer_cache.get(query.cache_key)
-        except AttributeError:
+        # Narrow skipped-__init__ probe: only the *cache attribute*
+        # being absent routes around memoization.  A blanket
+        # ``except AttributeError`` here used to also swallow an
+        # AttributeError raised while computing ``query.cache_key``,
+        # silently disabling the memo for every such query — genuine
+        # key errors must propagate.
+        cache = getattr(self, "_answer_cache", None)
+        if cache is None:
             # Subclasses that skip __init__ still work, just uncached.
             return self._answer_uncached(query)
+        # Unlocked probe: dict reads are GIL-atomic, entries are
+        # immutable once stored, and eviction only pops whole
+        # entries — a stale read is at worst a recomputed miss.
+        # Counter writes stay under the lock (the hit-path race the
+        # concurrency tests pin).
+        cached = cache.get(query.cache_key)
         if cached is not None:
             with self._cache_lock:
                 self._cache_hits += 1
             return cached
         key = query.cache_key
-        cache = self._answer_cache
         ctx = getattr(self, "_resilience", None)
         if ctx is not None:
             answer = ctx.call(

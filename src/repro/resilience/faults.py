@@ -88,6 +88,13 @@ class FaultSpec:
     succeeds afterwards; ``failures=None`` means every attempt fails —
     the unrecoverable case that exercises quarantine.  ``kind="timeout"``
     additionally consumes ``timeout_seconds`` of simulated time.
+
+    ``match`` narrows the spec to keys whose ``str()`` contains the
+    substring — e.g. ``match="Gemini"`` at ``engine.answer`` (whose keys
+    are ``(engine name, query id)``) faults exactly one engine, which is
+    how the serving tier's breaker-isolation tests take one engine down
+    without touching the rest of the fleet.  Matching is part of the
+    key's identity, so it is as deterministic as the selection roll.
     """
 
     site: str
@@ -95,6 +102,7 @@ class FaultSpec:
     failures: int | None = 1
     kind: str = "error"
     timeout_seconds: float = 5.0
+    match: str | None = None
 
     def __post_init__(self) -> None:
         if self.site not in FAULT_SITES:
@@ -123,10 +131,14 @@ class FaultPlan:
 
     @classmethod
     def parse(cls, text: str, seed: int = 0) -> "FaultPlan":
-        """Parse a CLI plan: ``site:rate[:failures[:kind]]`` comma-joined.
+        """Parse a CLI plan: ``site[@match]:rate[:failures[:kind]]``
+        comma-joined.
 
         ``failures`` accepts an integer or ``inf`` (never recovers);
         e.g. ``engine.answer:0.2:1,retrieval.select_sources:0.1:inf``.
+        ``site@match`` narrows the spec to keys containing the
+        substring: ``engine.answer@Gemini:1.0:inf`` takes down exactly
+        one engine.
         """
         specs = []
         for part in filter(None, (p.strip() for p in text.split(","))):
@@ -134,11 +146,20 @@ class FaultPlan:
             if len(fields) < 2:
                 raise ValueError(f"fault spec {part!r} needs at least site:rate")
             site, rate = fields[0], float(fields[1])
+            match: str | None = None
+            if "@" in site:
+                site, match = site.split("@", 1)
+                if not match:
+                    raise ValueError(f"fault spec {part!r} has an empty @match")
             failures: int | None = 1
             if len(fields) > 2:
                 failures = None if fields[2] in ("inf", "-") else int(fields[2])
             kind = fields[3] if len(fields) > 3 else "error"
-            specs.append(FaultSpec(site=site, rate=rate, failures=failures, kind=kind))
+            specs.append(
+                FaultSpec(
+                    site=site, rate=rate, failures=failures, kind=kind, match=match
+                )
+            )
         return cls(seed=seed, specs=tuple(specs))
 
 
@@ -163,6 +184,8 @@ class FaultInjector:
     def would_fault(self, site: str, key: object, attempt: int) -> FaultSpec | None:
         """The spec that fires for this call, or ``None``."""
         for spec in self._by_site.get(site, ()):
+            if spec.match is not None and spec.match not in str(key):
+                continue
             if spec.rate < 1.0:
                 roll = derive_rng("fault", self._plan.seed, site, key).random()
                 if roll >= spec.rate:

@@ -24,6 +24,12 @@ from typing import Any
 
 __all__ = ["BoundedCache", "CacheCounters"]
 
+#: Module-private miss marker: lets ``get``/``get_or_compute`` tell a
+#: stored ``None`` apart from an absent key, so a legitimately-``None``
+#: value memoizes once instead of recomputing (and miscounting the
+#: re-insert as a hit) on every lookup.
+_MISSING = object()
+
 
 @dataclass(frozen=True)
 class CacheCounters:
@@ -72,13 +78,20 @@ class BoundedCache:
     def __contains__(self, key: Hashable) -> bool:
         return key in self._cache
 
-    def get(self, key: Hashable) -> Any | None:
-        """The cached value for ``key`` (a counted hit), or ``None``."""
+    def get(self, key: Hashable, default: Any = None) -> Any | None:
+        """The cached value for ``key`` (a counted hit), or ``default``.
+
+        Presence — not truthiness or ``None``-ness — decides hit vs
+        miss: a stored ``None`` is a hit.  An absent key moves no
+        counter; the miss is recorded by the :meth:`put` half of the
+        pair, as always.
+        """
         with self._lock:
-            value = self._cache.get(key)
-            if value is not None:
+            value = self._cache.get(key, _MISSING)
+            if value is not _MISSING:
                 self._hits += 1
-            return value
+                return value
+            return default
 
     def put(self, key: Hashable, value: Any) -> Any:
         """Insert ``value`` unless ``key`` arrived first; return the winner.
@@ -98,9 +111,13 @@ class BoundedCache:
             return self._cache[key]
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
-        """Return the cached value for ``key``, computing it on first use."""
-        value = self.get(key)
-        if value is not None:
+        """Return the cached value for ``key``, computing it on first use.
+
+        ``None`` is a first-class value: once stored it is returned as
+        a hit, never recomputed.
+        """
+        value = self.get(key, _MISSING)
+        if value is not _MISSING:
             return value
         return self.put(key, compute())
 

@@ -1,0 +1,110 @@
+"""In-flight request coalescing (single-flight) for the serving tier.
+
+The engine memo caches deduplicate *completed* computations: the second
+request for a memoized key is a hit.  They do nothing for *concurrent*
+duplicates — two requests for the same cold key both reach
+``_answer_uncached`` and compute the same answer twice.  A batch study
+never hits this window (each engine answers its workload in order), but
+a serving tier multiplexing a popularity-skewed request stream hits it
+constantly: the hottest keys are exactly the ones most likely to be in
+flight already.
+
+:class:`SingleFlight` closes the window.  The first caller for a key
+becomes the **leader** and runs the computation; callers arriving while
+it is in flight become **followers** and block on the leader's result
+(value or exception — both are shared, which is safe here because every
+computation in this codebase is deterministic per key).  Once the leader
+finishes, the key leaves the group: later callers find the engine memo
+warm and never enter the flight at all.
+
+Thread-safety contract (conclint CONC002): all group bookkeeping —
+registration, removal, waiter counting — happens under the instance
+lock; the computation itself runs outside it so followers of *other*
+keys are never serialized behind an unrelated leader.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Hashable
+from typing import Any
+
+__all__ = ["SingleFlight"]
+
+
+class _Flight:
+    """One in-flight computation: the leader's result, shared."""
+
+    __slots__ = ("done", "value", "error", "followers")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+        self.followers = 0
+
+
+class SingleFlight:
+    """Collapse concurrent calls per key into one computation."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict[Hashable, _Flight] = {}
+        self._led = 0
+        self._coalesced = 0
+
+    def __len__(self) -> int:
+        """Number of keys currently in flight."""
+        with self._lock:
+            return len(self._inflight)
+
+    def do(self, key: Hashable, fn: Callable[[], Any]) -> tuple[Any, bool]:
+        """Run ``fn`` for ``key``, coalescing concurrent duplicates.
+
+        Returns ``(value, led)``: ``led`` is ``True`` for the caller
+        that actually ran ``fn`` and ``False`` for every follower that
+        received the leader's result.  If the leader raised, every
+        follower re-raises the same exception instance — deterministic
+        computations fail identically, so sharing the failure preserves
+        what a non-coalesced run would have seen.
+        """
+        with self._lock:
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._inflight[key] = flight
+                self._led += 1
+                led = True
+            else:
+                flight.followers += 1
+                self._coalesced += 1
+                led = False
+        if not led:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.value, False
+        try:
+            flight.value = fn()
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            # Retire the key before waking followers: a caller arriving
+            # after this point starts a fresh flight (typically a memo
+            # hit upstream), never joins a finished one.
+            with self._lock:
+                del self._inflight[key]
+            flight.done.set()
+        return flight.value, True
+
+    def counters(self) -> tuple[int, int]:
+        """``(led, coalesced)`` since construction (or :meth:`reset`)."""
+        with self._lock:
+            return self._led, self._coalesced
+
+    def reset(self) -> None:
+        """Zero the counters; in-flight computations are unaffected."""
+        with self._lock:
+            self._led = 0
+            self._coalesced = 0

@@ -3,6 +3,8 @@
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
+import pytest
+
 from repro.engines.base import Answer, AnswerEngine
 from repro.entities.queries import PopularityClass, Query, QueryKind
 
@@ -152,3 +154,58 @@ class TestAnswerCaching:
         first = gpt.answer(query)
         second = gpt.answer(query)
         assert first is second
+
+
+class _KeyRaisingQuery:
+    """A query stand-in whose identity computation itself is broken."""
+
+    id = "broken"
+    text = "broken query"
+
+    @property
+    def cache_key(self) -> str:
+        raise AttributeError("cache_key exploded")
+
+
+class TestSkippedInitGuard:
+    """The memo probe is narrow: only a missing cache disables it.
+
+    Regression for the blanket ``except AttributeError`` that used to
+    wrap the whole cache path: an AttributeError raised while computing
+    ``query.cache_key`` was indistinguishable from a skipped
+    ``__init__``, so broken queries were silently served uncached on
+    every call instead of surfacing the error.
+    """
+
+    def test_key_raising_query_surfaces_the_error(self):
+        engine = CountingEngine()
+        with pytest.raises(AttributeError, match="cache_key exploded"):
+            engine.answer(_KeyRaisingQuery())
+        # And nothing was computed or cached along the way.
+        assert engine.calls == 0
+        assert engine.cache_stats() == (0, 0)
+
+    def test_skipped_init_still_answers_uncached(self):
+        engine = CountingEngine.__new__(CountingEngine)
+        engine.calls = 0  # CountingEngine.__init__ skipped entirely
+        query = make_query(0)
+        first = engine.answer(query)
+        second = engine.answer(query)
+        assert first == second
+        assert engine.calls == 2  # no cache: every call computes
+
+
+class TestCachedAnswerPeek:
+    def test_peek_is_uncounted_and_non_computing(self):
+        engine = CountingEngine()
+        query = make_query(0)
+        assert engine.cached_answer(query) is None
+        assert engine.calls == 0
+        answer = engine.answer(query)
+        assert engine.cached_answer(query) is answer
+        # The two peeks moved neither counter; only answer() did.
+        assert engine.cache_stats() == (0, 1)
+
+    def test_peek_on_skipped_init_engine_is_none(self):
+        engine = CountingEngine.__new__(CountingEngine)
+        assert engine.cached_answer(make_query(0)) is None

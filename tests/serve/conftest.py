@@ -1,0 +1,43 @@
+"""Fixtures for the serving-tier suite.
+
+The serve world is module-scoped and owned by this suite: serving tests
+install resilience contexts, trip breakers, and warm memo caches with
+degraded traffic, none of which may leak into the session-shared
+determinism suites.
+"""
+
+import pytest
+
+from repro.core.config import StudyConfig, WorkloadSizes
+from repro.core.world import World
+
+#: Smallest workload the validators accept; serving tests assert the
+#: tier's execution semantics, not the paper's shape claims.
+SERVE_SIZES = WorkloadSizes(
+    ranking_queries=20,
+    comparison_popular=6,
+    comparison_niche=6,
+    intent_queries=12,
+    freshness_queries_per_vertical=5,
+    perturbation_queries=3,
+    perturbation_runs=2,
+    pairwise_queries=2,
+    citation_queries=6,
+)
+
+
+@pytest.fixture(scope="module")
+def serve_world():
+    return World.build(
+        StudyConfig(seed=13, corpus_scale=0.35, sizes=SERVE_SIZES)
+    )
+
+
+@pytest.fixture(autouse=True)
+def _pristine(serve_world):
+    """Every test starts and ends with a cold, unwired world."""
+    serve_world.clear_resilience()
+    serve_world.clear_caches()
+    yield
+    serve_world.clear_resilience()
+    serve_world.clear_caches()

@@ -1,0 +1,88 @@
+"""Unit tests for the single-flight coalescing primitive."""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serve.singleflight import SingleFlight
+
+
+class TestSingleFlight:
+    def test_sequential_calls_each_lead(self):
+        flight = SingleFlight()
+        value, led = flight.do("k", lambda: 41)
+        assert (value, led) == (41, True)
+        value, led = flight.do("k", lambda: 42)
+        # The first flight retired with its computation; a later call
+        # starts fresh (upstream memos, not the flight, absorb repeats).
+        assert (value, led) == (42, True)
+        assert flight.counters() == (2, 0)
+
+    def test_concurrent_duplicates_compute_once(self):
+        flight = SingleFlight()
+        calls = []
+        gate = threading.Event()
+
+        def compute():
+            calls.append(1)
+            gate.wait(timeout=5.0)
+            return "answer"
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = [pool.submit(flight.do, "k", compute) for _ in range(8)]
+            # Let every follower join the in-flight leader, then open
+            # the gate.
+            deadline = time.monotonic() + 5.0
+            while flight.counters()[1] < 7 and time.monotonic() < deadline:
+                time.sleep(0.001)
+            gate.set()
+            results = [f.result() for f in futures]
+        assert len(calls) == 1
+        assert {value for value, _ in results} == {"answer"}
+        assert sum(1 for _, led in results if led) == 1
+        assert flight.counters() == (1, 7)
+
+    def test_distinct_keys_do_not_coalesce(self):
+        flight = SingleFlight()
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [
+                pool.submit(flight.do, key, lambda key=key: key * 2)
+                for key in range(4)
+            ]
+            results = [f.result() for f in futures]
+        assert sorted(value for value, _ in results) == [0, 2, 4, 6]
+        assert all(led for _, led in results)
+
+    def test_leader_exception_shared_with_followers(self):
+        flight = SingleFlight()
+        gate = threading.Event()
+        boom = ValueError("deterministic failure")
+
+        def compute():
+            gate.wait(timeout=5.0)
+            raise boom
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [pool.submit(flight.do, "k", compute) for _ in range(4)]
+            deadline = time.monotonic() + 5.0
+            while flight.counters()[1] < 3 and time.monotonic() < deadline:
+                time.sleep(0.001)
+            gate.set()
+            errors = []
+            for future in futures:
+                with pytest.raises(ValueError) as excinfo:
+                    future.result()
+                errors.append(excinfo.value)
+        assert all(error is boom for error in errors)
+        # A failed flight retires too: the key is free again.
+        assert len(flight) == 0
+        value, led = flight.do("k", lambda: "recovered")
+        assert (value, led) == ("recovered", True)
+
+    def test_reset_zeroes_counters(self):
+        flight = SingleFlight()
+        flight.do("k", lambda: 1)
+        flight.reset()
+        assert flight.counters() == (0, 0)

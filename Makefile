@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test chaos lint detlint conclint lint-baseline conclint-baseline bench bench-paper serve serve-smoke study calibrate stability examples clean
+.PHONY: install test chaos lint detlint conclint locklint lint-baseline conclint-baseline locklint-baseline lockwitness bench bench-paper serve serve-smoke study calibrate stability examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -14,7 +14,7 @@ chaos:
 	REPRO_WORKERS=1 pytest tests/resilience/ -q
 	REPRO_WORKERS=4 pytest tests/resilience/ -q
 
-lint: detlint conclint
+lint: detlint conclint locklint
 
 detlint:
 	python -m repro lint
@@ -22,11 +22,23 @@ detlint:
 conclint:
 	python -m repro conclint
 
+locklint:
+	python -m repro locklint
+
 lint-baseline:
 	python -m repro lint --update-baseline
 
 conclint-baseline:
 	python -m repro conclint --update-baseline
+
+locklint-baseline:
+	python -m repro locklint --update-baseline
+
+# The serving/resilience suites with the runtime lock-order witness
+# armed: every witnessed acquisition is checked against the canonical
+# hierarchy, so an ordering bug raises instead of hanging a worker.
+lockwitness:
+	REPRO_LOCK_WITNESS=1 REPRO_WORKERS=4 pytest tests/serve/ tests/resilience/ -q
 
 bench:
 	pytest benchmarks/ --benchmark-only --benchmark-disable-gc

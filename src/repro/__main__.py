@@ -20,6 +20,8 @@ Subcommands:
   over the library source (see :mod:`repro.devtools.detlint`).
 * ``conclint`` — run the interprocedural concurrency-safety analyzer
   over the library source (see :mod:`repro.devtools.conclint`).
+* ``locklint`` — run the lock-discipline & blocking-hazard analyzer
+  over the library source (see :mod:`repro.devtools.locklint`).
 """
 
 from __future__ import annotations
@@ -241,6 +243,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the interprocedural concurrency-safety analyzer",
     )
     configure_conclint(conclint)
+
+    from repro.devtools.locklint.cli import configure_parser as configure_locklint
+
+    locklint = sub.add_parser(
+        "locklint",
+        help="run the lock-discipline & blocking-hazard analyzer",
+    )
+    configure_locklint(locklint)
     return parser
 
 
@@ -485,6 +495,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.devtools.conclint.cli import run_conclint
 
         return run_conclint(args)
+    if args.command == "locklint":
+        from repro.devtools.locklint.cli import run_locklint
+
+        return run_locklint(args)
     return _cmd_run(args)
 
 

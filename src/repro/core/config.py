@@ -13,7 +13,13 @@ from dataclasses import dataclass, field
 
 from repro.webgraph.dates import DEFAULT_STUDY_DATE
 
-__all__ = ["EXECUTORS", "StudyConfig", "WorkloadSizes", "default_workers"]
+__all__ = [
+    "EXECUTORS",
+    "StudyConfig",
+    "WorkloadSizes",
+    "default_workers",
+    "lock_witness_enabled",
+]
 
 #: Executor kinds the study runner accepts.
 EXECUTORS = ("process", "thread")
@@ -31,6 +37,20 @@ def default_workers() -> int:
         return max(1, int(raw)) if raw else 1
     except ValueError:
         return 1
+
+
+def lock_witness_enabled() -> bool:
+    """Whether ``REPRO_LOCK_WITNESS=1`` turned on the lock-order witness.
+
+    Debug-only: when set, every :func:`repro.lockorder.witness_lock`
+    site returns an instrumented lock that checks acquisitions against
+    the canonical hierarchy (see ``docs/architecture.md``) and raises on
+    order inversions instead of letting a deadlock hang the process.
+    Checked at lock-construction time, like ``default_workers`` this is
+    an env hook so CI can flip a whole test leg without touching call
+    sites.
+    """
+    return os.environ.get("REPRO_LOCK_WITNESS", "") == "1"
 
 
 @dataclass(frozen=True)

@@ -53,7 +53,6 @@ ones.  Without a context, failures propagate exactly as before — as a
 from __future__ import annotations
 
 import multiprocessing
-import threading
 import time
 import warnings
 from collections.abc import Callable, Hashable, Iterator, Sequence
@@ -65,6 +64,7 @@ from typing import TYPE_CHECKING, Any
 from repro.engines.base import Answer
 from repro.entities.queries import Query
 from repro.llm.rng import derive_seed
+from repro.lockorder import witness_lock
 from repro.resilience.context import ResilienceContext, ResilienceEvents
 from repro.resilience.faults import ResilienceExhausted
 from repro.resilience.journal import RunJournal, journal_key
@@ -144,7 +144,7 @@ class EvidenceCache:
             raise ValueError("limit must be at least 1")
         self._limit = limit
         self._entries: dict[Hashable, Any] = {}
-        self._lock = threading.Lock()
+        self._lock = witness_lock("EvidenceCache._lock")
         self.stats = CacheStats()
         #: Optional ResilienceContext guarding the compute path.
         self.resilience: ResilienceContext | None = None

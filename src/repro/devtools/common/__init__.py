@@ -1,0 +1,68 @@
+"""Machinery shared by the in-house analyzers (detlint, conclint, locklint).
+
+Extracted from detlint once conclint started borrowing it "via a tool
+parameter"; with locklint the count reached three consumers, so the
+shared pieces now live here as one implementation:
+
+* :mod:`~repro.devtools.common.findings` — the :class:`Finding` record
+  every rule produces;
+* :mod:`~repro.devtools.common.pragmas` — ``# <tool>: ignore[...]`` /
+  ``skip-file`` waiver parsing, parameterized by tool name;
+* :mod:`~repro.devtools.common.baseline` — the grandfathered-findings
+  JSON baseline with mandatory reasons;
+* :mod:`~repro.devtools.common.report` — :class:`LintReport` and
+  deterministic file discovery;
+* :mod:`~repro.devtools.common.reporters` — text and JSON rendering;
+* :mod:`~repro.devtools.common.context` — per-module import-alias
+  resolution (:class:`ModuleContext`);
+* :mod:`~repro.devtools.common.cli` — the shared subcommand skeleton
+  (``--format/--baseline/--update-baseline/--list-rules`` + per-tool
+  dump flags).
+
+Tool-specific rule engines stay in their own packages; nothing here
+knows any rule code.
+"""
+
+from repro.devtools.common.baseline import (
+    apply_baseline,
+    existing_reasons,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.common.cli import DumpOption, ToolCLI, configure_parser, run_tool
+from repro.devtools.common.context import (
+    ModuleContext,
+    collect_imports,
+    module_name_for,
+)
+from repro.devtools.common.findings import Finding
+from repro.devtools.common.pragmas import Pragmas, apply_waivers, parse_pragmas
+from repro.devtools.common.report import (
+    DEFAULT_PATHS,
+    LintReport,
+    iter_python_files,
+)
+from repro.devtools.common.reporters import render_json, render_text
+
+__all__ = [
+    "DEFAULT_PATHS",
+    "DumpOption",
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "Pragmas",
+    "ToolCLI",
+    "apply_baseline",
+    "apply_waivers",
+    "collect_imports",
+    "configure_parser",
+    "existing_reasons",
+    "iter_python_files",
+    "load_baseline",
+    "module_name_for",
+    "parse_pragmas",
+    "render_json",
+    "render_text",
+    "run_tool",
+    "write_baseline",
+]

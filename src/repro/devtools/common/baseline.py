@@ -18,7 +18,7 @@ from collections import Counter
 from dataclasses import replace
 from pathlib import Path
 
-from repro.devtools.detlint.findings import Finding
+from repro.devtools.common.findings import Finding
 
 __all__ = ["apply_baseline", "existing_reasons", "load_baseline", "write_baseline"]
 

@@ -1,0 +1,131 @@
+"""One CLI skeleton for the three in-house analyzers.
+
+detlint, conclint and locklint expose the same UX contract — positional
+paths, ``--format text|json``, a grandfathered-findings baseline with
+``--update-baseline``, ``--list-rules``, ``--verbose`` — plus per-tool
+dump flags (conclint's ``--dump-callgraph``, locklint's
+``--dump-lockgraph``).  Each tool declares a :class:`ToolCLI` and the
+``python -m repro`` subcommands route through :func:`configure_parser`
+and :func:`run_tool`, so the contract cannot drift between tools.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.devtools.common.baseline import existing_reasons, write_baseline
+from repro.devtools.common.report import DEFAULT_PATHS, LintReport
+from repro.devtools.common.reporters import render_json, render_text
+
+__all__ = ["DumpOption", "ToolCLI", "configure_parser", "run_tool"]
+
+
+@dataclass(frozen=True)
+class DumpOption:
+    """One ``--dump-*`` flag: emit a deterministic artifact and exit 0."""
+
+    flag: str
+    help: str
+    #: Renders the artifact from the tool's report (e.g. the call graph
+    #: JSON hanging off a conclint ``AnalysisResult``).
+    render: Callable[[LintReport], str]
+
+    @property
+    def dest(self) -> str:
+        return self.flag.lstrip("-").replace("-", "_")
+
+
+@dataclass(frozen=True)
+class ToolCLI:
+    """Everything the shared skeleton needs to drive one analyzer."""
+
+    tool: str
+    default_baseline: str
+    #: ``analyze(paths_or_None, baseline_or_None) -> LintReport``.
+    analyze: Callable[
+        [list[str | Path] | None, str | Path | None], LintReport
+    ]
+    #: ``(code, title, summary)`` rows for ``--list-rules``.
+    rule_table: Callable[[], list[tuple[str, str, str]]]
+    dumps: tuple[DumpOption, ...] = ()
+
+
+def configure_parser(parser: argparse.ArgumentParser, cli: ToolCLI) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help=f"files or directories to analyze (default: {', '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=cli.default_baseline,
+        metavar="FILE",
+        help="baseline file of grandfathered findings "
+        f"(default: {cli.default_baseline})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file (every finding blocks)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also show pragma-waived findings in the text report",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    for dump in cli.dumps:
+        parser.add_argument(dump.flag, action="store_true", help=dump.help)
+
+
+def run_tool(args: argparse.Namespace, cli: ToolCLI, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    if args.list_rules:
+        for code, title, summary in cli.rule_table():
+            print(f"{code}  {title:<22} {summary}", file=out)
+        return 0
+
+    baseline = None if args.no_baseline else args.baseline
+    report = cli.analyze(args.paths or None, baseline)
+
+    for dump in cli.dumps:
+        if getattr(args, dump.dest, False):
+            print(dump.render(report), file=out)
+            return 0
+
+    if args.update_baseline:
+        write_baseline(
+            report.findings, args.baseline, reasons=existing_reasons(args.baseline)
+        )
+        print(
+            f"baseline updated: {args.baseline} "
+            f"({len([f for f in report.findings if not f.waived])} entries)",
+            file=out,
+        )
+        return 0
+
+    if args.format == "json":
+        print(render_json(report), file=out)
+    else:
+        print(render_text(report, verbose=args.verbose, tool=cli.tool), file=out)
+    return report.exit_code

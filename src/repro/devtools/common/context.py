@@ -4,7 +4,9 @@ The rules never inspect raw AST names directly — they ask the context to
 *resolve* an expression to a canonical dotted path (``random.Random``,
 ``datetime.datetime.now``, ``repro.llm.rng.derive_seed``), which makes
 ``import random as _random`` and ``from random import Random as R``
-indistinguishable from the plain spellings.
+indistinguishable from the plain spellings.  detlint's per-file rules,
+conclint's project index and locklint's lock-site typing all resolve
+through this one table.
 """
 
 from __future__ import annotations

@@ -1,4 +1,9 @@
-"""The :class:`Finding` record produced by every detlint rule."""
+"""The :class:`Finding` record every in-house analyzer produces.
+
+detlint, conclint and locklint all report through this one dataclass so
+the pragma, baseline and reporter machinery in
+:mod:`repro.devtools.common` works identically for the three tools.
+"""
 
 from __future__ import annotations
 
@@ -12,8 +17,8 @@ class Finding:
     """One rule violation at one source location.
 
     Findings sort by location so reports (and the baseline file) are
-    stable across runs regardless of rule execution order — the linter
-    holds itself to the determinism contract it enforces.
+    stable across runs regardless of rule execution order — the linters
+    hold themselves to the determinism contract they enforce.
     """
 
     path: str
@@ -32,7 +37,7 @@ class Finding:
     #: but the natural place for the waiver comment is the line the
     #: statement starts on — pragma lookup honours both anchors.
     stmt_line: int = field(default=0, compare=False)
-    #: Suppressed by an inline ``# detlint: ignore[...]`` pragma.
+    #: Suppressed by an inline ``# <tool>: ignore[...]`` pragma.
     waived: bool = field(default=False, compare=False)
     #: Grandfathered by the checked-in baseline file.
     baselined: bool = field(default=False, compare=False)

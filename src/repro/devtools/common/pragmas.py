@@ -9,10 +9,10 @@ A bare ``# detlint: ignore`` waives every rule on that line; a
 Comments are extracted with :mod:`tokenize`, so pragma-shaped text inside
 string literals is never mistaken for a waiver.
 
-The pragma prefix is the *tool name* — :mod:`repro.devtools.conclint`
-reuses this parser with ``tool="conclint"``, so ``# conclint:
-ignore[CONC002] -- reason`` works identically without the two linters'
-waivers shadowing each other.
+The pragma prefix is the *tool name* — detlint, conclint and locklint
+each parse with their own ``tool=`` argument, so ``# conclint:
+ignore[CONC002] -- reason`` works identically to the detlint spelling
+without the analyzers' waivers shadowing each other.
 """
 
 from __future__ import annotations
@@ -22,11 +22,12 @@ import re
 import tokenize
 from dataclasses import dataclass, field, replace
 
-from repro.devtools.detlint.findings import Finding
+from repro.devtools.common.findings import Finding
 
 __all__ = ["Pragmas", "apply_waivers", "parse_pragmas"]
 
-#: Compiled pragma patterns, one per tool name ("detlint", "conclint").
+#: Compiled pragma patterns, one per tool name ("detlint", "conclint",
+#: "locklint").
 _PRAGMA_RES: dict[str, re.Pattern[str]] = {}
 
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import json
 
-from repro.devtools.detlint.runner import LintReport
+from repro.devtools.common.report import LintReport
 
 __all__ = ["render_json", "render_text"]
 
@@ -24,7 +24,7 @@ def render_text(
 
     Waived findings are hidden unless ``verbose``; baselined ones are
     always shown (they are debt, and debt should stay visible).
-    ``tool`` labels the summary line — conclint reuses this renderer.
+    ``tool`` labels the summary line with the analyzer's name.
     """
     lines = []
     for finding in report.findings:

@@ -28,7 +28,9 @@ grandfather legacy debt in ``.conclint-baseline.json`` (entries carry
 mandatory reasons).  Run via ``python -m repro conclint``;
 ``--dump-callgraph`` emits the deterministic call-graph JSON the
 analysis ran against.  The findings/pragma/baseline/reporter machinery
-is shared with :mod:`repro.devtools.detlint`.
+lives in :mod:`repro.devtools.common`, shared with detlint and
+locklint; locklint also reuses this package's :class:`ProjectIndex`
+and call graph.
 """
 
 from repro.devtools.conclint.callgraph import CallGraph, build_callgraph

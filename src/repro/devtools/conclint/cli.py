@@ -1,95 +1,37 @@
-"""The ``python -m repro conclint`` subcommand."""
+"""The ``python -m repro conclint`` subcommand (shared CLI skeleton)."""
 
 from __future__ import annotations
 
 import argparse
-import sys
 
+from repro.devtools.common.cli import DumpOption, ToolCLI, run_tool
+from repro.devtools.common.cli import configure_parser as _configure
 from repro.devtools.conclint.rules import conc_rule_table
 from repro.devtools.conclint.runner import analyze_paths
-from repro.devtools.detlint.baseline import existing_reasons, write_baseline
-from repro.devtools.detlint.reporters import render_json, render_text
-from repro.devtools.detlint.runner import DEFAULT_PATHS
 
 __all__ = ["configure_parser", "run_conclint"]
 
 DEFAULT_BASELINE = ".conclint-baseline.json"
 
+CLI = ToolCLI(
+    tool="conclint",
+    default_baseline=DEFAULT_BASELINE,
+    analyze=analyze_paths,
+    rule_table=conc_rule_table,
+    dumps=(
+        DumpOption(
+            flag="--dump-callgraph",
+            help="emit the call graph, entry points and worker-reachable set "
+            "as deterministic JSON and exit",
+            render=lambda report: report.graph.to_json(),
+        ),
+    ),
+)
+
 
 def configure_parser(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "paths",
-        nargs="*",
-        metavar="PATH",
-        help=f"files or directories to analyze (default: {', '.join(DEFAULT_PATHS)})",
-    )
-    parser.add_argument(
-        "--format",
-        choices=("text", "json"),
-        default="text",
-        help="report format (default: text)",
-    )
-    parser.add_argument(
-        "--baseline",
-        default=DEFAULT_BASELINE,
-        metavar="FILE",
-        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE})",
-    )
-    parser.add_argument(
-        "--no-baseline",
-        action="store_true",
-        help="ignore the baseline file (every finding blocks)",
-    )
-    parser.add_argument(
-        "--update-baseline",
-        action="store_true",
-        help="rewrite the baseline from the current findings and exit 0",
-    )
-    parser.add_argument(
-        "--verbose",
-        action="store_true",
-        help="also show pragma-waived findings in the text report",
-    )
-    parser.add_argument(
-        "--list-rules",
-        action="store_true",
-        help="print the rule table and exit",
-    )
-    parser.add_argument(
-        "--dump-callgraph",
-        action="store_true",
-        help="emit the call graph, entry points and worker-reachable set "
-        "as deterministic JSON and exit",
-    )
+    _configure(parser, CLI)
 
 
 def run_conclint(args: argparse.Namespace, out=None) -> int:
-    out = out if out is not None else sys.stdout
-    if args.list_rules:
-        for code, title, summary in conc_rule_table():
-            print(f"{code}  {title:<22} {summary}", file=out)
-        return 0
-
-    baseline = None if args.no_baseline else args.baseline
-    report = analyze_paths(args.paths or None, baseline=baseline)
-
-    if args.dump_callgraph:
-        print(report.graph.to_json(), file=out)
-        return 0
-
-    if args.update_baseline:
-        write_baseline(
-            report.findings, args.baseline, reasons=existing_reasons(args.baseline)
-        )
-        print(
-            f"baseline updated: {args.baseline} "
-            f"({len([f for f in report.findings if not f.waived])} entries)",
-            file=out,
-        )
-        return 0
-
-    if args.format == "json":
-        print(render_json(report), file=out)
-    else:
-        print(render_text(report, verbose=args.verbose, tool="conclint"), file=out)
-    return report.exit_code
+    return run_tool(args, CLI, out)

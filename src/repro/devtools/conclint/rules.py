@@ -26,7 +26,7 @@ from repro.devtools.conclint.symbols import (
     classify_value,
     iter_own_nodes,
 )
-from repro.devtools.detlint.findings import Finding
+from repro.devtools.common.findings import Finding
 
 __all__ = ["ConcRule", "all_conc_rules", "conc_rule_table", "register_conc"]
 

@@ -9,25 +9,25 @@ The pipeline is whole-program where detlint's is per-file:
 3. run each CONC rule over its scope (worker-reachable functions, or
    everything for the parent-side rule);
 4. apply ``# conclint: ignore[...]`` pragmas and the
-   ``.conclint-baseline.json`` baseline — the exact detlint machinery,
-   re-parameterized.
+   ``.conclint-baseline.json`` baseline — the shared
+   :mod:`repro.devtools.common` machinery, re-parameterized.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
-from repro.devtools.conclint.callgraph import CallGraph, build_callgraph
-from repro.devtools.conclint.rules import AnalysisContext, all_conc_rules
-from repro.devtools.conclint.symbols import ProjectIndex
-from repro.devtools.detlint.baseline import apply_baseline, load_baseline
-from repro.devtools.detlint.findings import Finding
-from repro.devtools.detlint.pragmas import apply_waivers
-from repro.devtools.detlint.runner import (
+from repro.devtools.common.baseline import apply_baseline, load_baseline
+from repro.devtools.common.findings import Finding
+from repro.devtools.common.pragmas import apply_waivers
+from repro.devtools.common.report import (
     DEFAULT_PATHS,
     LintReport,
     iter_python_files,
 )
+from repro.devtools.conclint.callgraph import CallGraph, build_callgraph
+from repro.devtools.conclint.rules import AnalysisContext, all_conc_rules
+from repro.devtools.conclint.symbols import ProjectIndex
 
 __all__ = ["AnalysisResult", "analyze_paths"]
 

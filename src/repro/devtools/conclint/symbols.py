@@ -17,7 +17,7 @@ builds an index of every module under the analyzed roots:
   ``rng`` (``random.Random`` / ``derive_rng`` instances, whose draw
   order is shared mutable state), or ``other``.
 
-Name resolution reuses detlint's :class:`ModuleContext` — aliased
+Name resolution reuses the shared :class:`ModuleContext` — aliased
 imports cannot hide a symbol from the index any more than they can hide
 a call from detlint's rules.
 """
@@ -28,12 +28,12 @@ import ast
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.devtools.detlint.context import (
+from repro.devtools.common.context import (
     ModuleContext,
     collect_imports,
     module_name_for,
 )
-from repro.devtools.detlint.pragmas import Pragmas, parse_pragmas
+from repro.devtools.common.pragmas import Pragmas, parse_pragmas
 
 __all__ = [
     "ClassInfo",
@@ -206,7 +206,11 @@ def _assign_targets(stmt: ast.stmt) -> list[tuple[str, ast.expr | None]]:
 class ProjectIndex:
     """Symbol tables for every analyzed module, cross-referenced."""
 
-    def __init__(self) -> None:
+    def __init__(self, tool: str = "conclint") -> None:
+        #: Pragma namespace modules are parsed under — conclint by
+        #: default; locklint builds its index with ``tool="locklint"``
+        #: so the two analyzers' waivers stay independent.
+        self.tool = tool
         self.modules: dict[str, ModuleInfo] = {}
         self.functions: dict[str, FunctionInfo] = {}
         self.classes: dict[str, ClassInfo] = {}
@@ -219,8 +223,8 @@ class ProjectIndex:
     # Construction
 
     @classmethod
-    def build(cls, files: list[Path]) -> "ProjectIndex":
-        index = cls()
+    def build(cls, files: list[Path], tool: str = "conclint") -> "ProjectIndex":
+        index = cls(tool=tool)
         for file_path in files:
             index.add_module(file_path.read_text(encoding="utf-8"), file_path)
         return index
@@ -244,7 +248,7 @@ class ProjectIndex:
             module=module,
             tree=tree,
             ctx=ctx,
-            pragmas=parse_pragmas(source, tool="conclint"),
+            pragmas=parse_pragmas(source, tool=self.tool),
         )
         self.modules[module] = info
         for stmt in tree.body:

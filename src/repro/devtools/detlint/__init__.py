@@ -19,9 +19,11 @@ DET006  ``os.environ`` reads outside ``repro.core.config``
 Waive a single site with ``# detlint: ignore[DET001] -- reason``;
 grandfather legacy debt in ``.detlint-baseline.json`` (baselined
 findings warn, new findings fail).  Run via ``python -m repro lint``.
+The findings/pragma/baseline/reporter machinery lives in
+:mod:`repro.devtools.common`, shared with conclint and locklint.
 """
 
-from repro.devtools.detlint.findings import Finding
+from repro.devtools.common.findings import Finding
 from repro.devtools.detlint.registry import Rule, all_rules, register, rule_table
 from repro.devtools.detlint.runner import LintReport, lint_paths, lint_source
 

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 import ast
 
-from repro.devtools.detlint.context import ModuleContext
-from repro.devtools.detlint.findings import Finding
+from repro.devtools.common.context import ModuleContext
+from repro.devtools.common.findings import Finding
 
 __all__ = ["Rule", "all_rules", "register", "rule_table"]
 

@@ -3,57 +3,27 @@
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.devtools.detlint.baseline import apply_baseline, load_baseline
-from repro.devtools.detlint.context import ModuleContext, collect_imports, module_name_for
-from repro.devtools.detlint.findings import Finding
-from repro.devtools.detlint.pragmas import apply_waivers, parse_pragmas
+from repro.devtools.common.baseline import apply_baseline, load_baseline
+from repro.devtools.common.context import (
+    ModuleContext,
+    collect_imports,
+    module_name_for,
+)
+from repro.devtools.common.findings import Finding
+from repro.devtools.common.pragmas import apply_waivers, parse_pragmas
+from repro.devtools.common.report import (
+    DEFAULT_PATHS,
+    LintReport,
+    iter_python_files,
+)
 from repro.devtools.detlint.registry import all_rules
 
 # Rule modules register themselves on import.
 from repro.devtools.detlint import rules as _rules  # noqa: F401
 
-__all__ = ["LintReport", "lint_paths", "lint_source"]
-
-#: The library tree the determinism contract covers.  ``tools/`` and
-#: ``benchmarks/`` are operator-facing (timing is their job) and are
-#: deliberately outside the default scope.
-DEFAULT_PATHS = ("src/repro",)
-
-
-@dataclass
-class LintReport:
-    """All findings from one lint run, sorted by location."""
-
-    findings: list[Finding] = field(default_factory=list)
-    files_checked: int = 0
-
-    @property
-    def blocking(self) -> list[Finding]:
-        return [f for f in self.findings if f.blocking]
-
-    @property
-    def waived(self) -> list[Finding]:
-        return [f for f in self.findings if f.waived]
-
-    @property
-    def baselined(self) -> list[Finding]:
-        return [f for f in self.findings if f.baselined]
-
-    @property
-    def exit_code(self) -> int:
-        return 1 if self.blocking else 0
-
-    def summary(self) -> dict[str, int]:
-        return {
-            "files": self.files_checked,
-            "findings": len(self.findings),
-            "blocking": len(self.blocking),
-            "waived": len(self.waived),
-            "baselined": len(self.baselined),
-        }
+__all__ = ["DEFAULT_PATHS", "LintReport", "lint_paths", "lint_source"]
 
 
 def lint_source(source: str, path: str | Path = "<string>") -> list[Finding]:
@@ -77,7 +47,7 @@ def lint_source(source: str, path: str | Path = "<string>") -> list[Finding]:
                 message=f"file does not parse: {exc.msg}",
             )
         ]
-    pragmas = parse_pragmas(source)
+    pragmas = parse_pragmas(source, tool="detlint")
     if pragmas.skip_file:
         return []
     ctx = ModuleContext(
@@ -93,18 +63,6 @@ def lint_source(source: str, path: str | Path = "<string>") -> list[Finding]:
         findings.extend(rule_cls(ctx).run(tree))
     findings.sort()
     return apply_waivers(findings, pragmas)
-
-
-def iter_python_files(paths: list[str | Path]) -> list[Path]:
-    """Every ``.py`` file under the given paths, sorted for determinism."""
-    files: set[Path] = set()
-    for raw in paths:
-        path = Path(raw)
-        if path.is_dir():
-            files.update(sorted(path.rglob("*.py")))
-        elif path.suffix == ".py":
-            files.add(path)
-    return sorted(files)
 
 
 def lint_paths(

@@ -1,0 +1,37 @@
+"""The ``python -m repro locklint`` subcommand (shared CLI skeleton)."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.devtools.common.cli import DumpOption, ToolCLI, run_tool
+from repro.devtools.common.cli import configure_parser as _configure
+from repro.devtools.locklint.rules import lock_rule_table
+from repro.devtools.locklint.runner import analyze_paths
+
+__all__ = ["configure_parser", "run_locklint"]
+
+DEFAULT_BASELINE = ".locklint-baseline.json"
+
+CLI = ToolCLI(
+    tool="locklint",
+    default_baseline=DEFAULT_BASELINE,
+    analyze=analyze_paths,
+    rule_table=lock_rule_table,
+    dumps=(
+        DumpOption(
+            flag="--dump-lockgraph",
+            help="emit the lock sites, acquired-while-held edges and "
+            "canonical hierarchy as deterministic JSON and exit",
+            render=lambda report: report.graph.to_json(),
+        ),
+    ),
+)
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    _configure(parser, CLI)
+
+
+def run_locklint(args: argparse.Namespace, out=None) -> int:
+    return run_tool(args, CLI, out)

@@ -1,0 +1,117 @@
+"""locklint orchestration: index, sites, lock graph, rules, waivers.
+
+The pipeline mirrors conclint's whole-program shape and reuses its
+:class:`~repro.devtools.conclint.symbols.ProjectIndex` (built under the
+``locklint`` pragma namespace):
+
+1. parse every module under the analyzed roots;
+2. discover the lock sites and type tables
+   (:mod:`repro.devtools.locklint.sites`);
+3. build the acquired-while-held graph
+   (:mod:`repro.devtools.locklint.lockgraph`);
+4. evaluate LOCK001–LOCK005 and apply ``# locklint: ignore[...]``
+   pragmas and the ``.locklint-baseline.json`` baseline via the shared
+   :mod:`repro.devtools.common` machinery.
+
+``repro.lockorder`` — the runtime witness — is exempt by construction:
+it *implements* locks (``OrderedLock`` wraps acquire/release across
+method boundaries), so it cannot satisfy the caller-side discipline it
+exists to enforce, exactly as ``repro.core.config`` is exempt from
+detlint's environ rule.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools.common.baseline import apply_baseline, load_baseline
+from repro.devtools.common.findings import Finding
+from repro.devtools.common.pragmas import apply_waivers
+from repro.devtools.common.report import (
+    DEFAULT_PATHS,
+    LintReport,
+    iter_python_files,
+)
+from repro.devtools.conclint.symbols import ProjectIndex
+from repro.devtools.locklint.lockgraph import LockGraph, build_lockgraph
+from repro.devtools.locklint.rules import run_rules
+from repro.devtools.locklint.sites import build_sites
+
+__all__ = ["EXEMPT_MODULES", "LockAnalysis", "analyze_paths"]
+
+#: Module prefixes the lock-discipline rules do not apply to.
+EXEMPT_MODULES = ("repro.lockorder",)
+
+
+class LockAnalysis(LintReport):
+    """A lint report plus the lock graph it was computed against."""
+
+    def __init__(self, findings, files_checked: int, graph: LockGraph) -> None:
+        super().__init__(findings=findings, files_checked=files_checked)
+        self.graph = graph
+
+
+def _exempt(module: str) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in EXEMPT_MODULES
+    )
+
+
+def analyze_paths(
+    paths: list[str | Path] | None = None,
+    baseline: str | Path | None = None,
+) -> LockAnalysis:
+    """Analyze files/trees and apply the baseline; the main entry point."""
+    targets = list(paths) if paths else [Path(p) for p in DEFAULT_PATHS]
+    files = iter_python_files(targets)
+    index = ProjectIndex.build(files, tool="locklint")
+
+    table = build_sites(index)
+    # The witness module's internal locks are implementation detail,
+    # not part of the project hierarchy.
+    for name in [
+        name for name, site in table.sites.items() if _exempt(site.owner)
+    ]:
+        site = table.sites.pop(name)
+        table.attr_sites.pop((site.owner, site.binding), None)
+        table.local_sites.pop((site.owner, site.binding), None)
+
+    graph = build_lockgraph(index, table, exempt_modules=EXEMPT_MODULES)
+
+    findings: list[Finding] = []
+    for display_path in sorted(index.broken):
+        exc = index.broken[display_path]
+        findings.append(
+            Finding(
+                path=display_path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                rule="LOCK000",
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+    findings.extend(run_rules(graph))
+    findings.sort()
+
+    # Pragma waivers, per module (same two-anchor semantics as the
+    # sibling analyzers).
+    by_path = {
+        minfo.path: minfo.pragmas for minfo in index.modules.values()
+    }
+    waived: list[Finding] = []
+    for finding in findings:
+        pragmas = by_path.get(finding.path)
+        if pragmas is None:
+            waived.append(finding)
+        elif pragmas.skip_file:
+            continue
+        else:
+            waived.extend(apply_waivers([finding], pragmas))
+    findings = waived
+
+    base_dir = Path(baseline).resolve().parent if baseline is not None else None
+    findings = apply_baseline(findings, load_baseline(baseline), base_dir)
+    return LockAnalysis(
+        findings=findings, files_checked=len(files), graph=graph
+    )

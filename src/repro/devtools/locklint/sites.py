@@ -1,0 +1,345 @@
+"""Lock-site discovery and the attribute/local type tables.
+
+A **lock site** is a synchronization primitive with a stable identity
+the analysis can name:
+
+* an *attribute site* — ``self._lock = threading.Lock()`` (or the
+  :func:`repro.lockorder.witness_lock` wrapper) assigned in a class's
+  ``__init__``, named ``Class._attr``;
+* a *local site* — ``admission = threading.BoundedSemaphore(n)`` bound
+  to a function local, named ``module.func.name``.
+
+Alongside the sites, this module builds the **type tables** the rest of
+locklint resolves receivers through: per-class ``attr -> type`` (from
+``self.x = ClassName()``, annotated ``self.x: T`` assignments with
+``T | None``/``Optional[T]`` unwrapped, and annotated ``__init__``
+parameters stored on ``self``) and per-function ``local -> type``.
+Typed resolution is deliberately *under*-approximate — an unknown
+receiver contributes nothing.  conclint's name-based CHA fallback would
+be poison here: ``self._cache.get(...)`` on a plain dict must not
+"dispatch" to ``BoundedCache.get`` and conjure a lock acquisition that
+never happens.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.devtools.conclint.symbols import (
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+    iter_own_nodes,
+)
+
+__all__ = ["LockSite", "SiteTable", "build_sites"]
+
+#: Lock-ish constructors -> (kind, reentrant).  Event is *not* a lock
+#: site — it is tracked as a typed attribute for LOCK002's blocking-call
+#: detection instead.
+LOCK_CTORS = {
+    "threading.Lock": ("Lock", False),
+    "threading.RLock": ("RLock", True),
+    "threading.Semaphore": ("Semaphore", False),
+    "threading.BoundedSemaphore": ("BoundedSemaphore", False),
+    "threading.Condition": ("Condition", False),
+}
+
+#: The runtime witness wrapper; its product is a (non-reentrant) Lock.
+WITNESS_CTORS = frozenset({"repro.lockorder.witness_lock"})
+
+#: Kinds that provide mutual exclusion — these enter the held set and
+#: the lock-order graph.  Counting semaphores do not: holding a permit
+#: while taking locks is the admission-control pattern, not a deadlock
+#: order.  They still get LOCK004 acquire/release pairing checks.
+MUTEX_KINDS = frozenset({"Lock", "RLock", "Condition"})
+
+
+@dataclass(frozen=True)
+class LockSite:
+    """One named synchronization primitive."""
+
+    name: str
+    kind: str
+    reentrant: bool
+    #: ``"attr"`` or ``"local"``.
+    scope: str
+    #: Class qualname for attr sites, function qualname for local sites.
+    owner: str
+    #: The attribute or local binding name.
+    binding: str
+    path: str
+    lineno: int
+
+    @property
+    def mutex(self) -> bool:
+        return self.kind in MUTEX_KINDS
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "reentrant": self.reentrant,
+            "scope": self.scope,
+            "owner": self.owner,
+            "path": self.path,
+            "line": self.lineno,
+        }
+
+
+@dataclass
+class SiteTable:
+    """Every discovered site plus the receiver-typing tables."""
+
+    #: site name -> site.
+    sites: dict[str, LockSite] = field(default_factory=dict)
+    #: (class qualname, attr) -> site.
+    attr_sites: dict[tuple[str, str], LockSite] = field(default_factory=dict)
+    #: (function qualname, local name) -> site.
+    local_sites: dict[tuple[str, str], LockSite] = field(default_factory=dict)
+    #: class qualname -> attr name -> type (project class qualname or a
+    #: dotted external name like ``threading.Event``).
+    attr_types: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: witness sites whose declared string disagrees with the computed
+    #: ``Class._attr`` name: (declared, computed, path, line).
+    mismatched: list[tuple[str, str, str, int]] = field(default_factory=list)
+
+    def attr_site(
+        self, index: ProjectIndex, cls: str, attr: str
+    ) -> LockSite | None:
+        """The site ``self.<attr>`` names in class ``cls``, honouring
+        inheritance (a subclass method locks its base's site)."""
+        for candidate in [cls, *index.ancestors(cls)]:
+            site = self.attr_sites.get((candidate, attr))
+            if site is not None:
+                return site
+        return None
+
+    def attr_type(self, index: ProjectIndex, cls: str, attr: str) -> str | None:
+        for candidate in [cls, *index.ancestors(cls)]:
+            typed = self.attr_types.get(candidate, {}).get(attr)
+            if typed is not None:
+                return typed
+        return None
+
+
+def resolve_annotation(
+    node: ast.expr | None, minfo: ModuleInfo, index: ProjectIndex
+) -> str | None:
+    """A type annotation's dotted name, unwrapping ``T | None`` and
+    ``Optional[T]``; ``None`` when the annotation names no single type."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = resolve_annotation(node.left, minfo, index)
+        if left is not None:
+            return left
+        return resolve_annotation(node.right, minfo, index)
+    if isinstance(node, ast.Subscript):
+        base = resolve_annotation(node.value, minfo, index)
+        if base in ("typing.Optional", "Optional"):
+            return resolve_annotation(node.slice, minfo, index)
+        return None
+    if isinstance(node, ast.Name):
+        if node.id == "None":
+            return None
+        local = minfo.classes.get(node.id)
+        if local is not None:
+            return local
+        return minfo.ctx.imports.get(node.id, node.id)
+    if isinstance(node, ast.Attribute):
+        return minfo.ctx.resolve(node)
+    if isinstance(node, ast.Constant) and node.value is None:
+        return None
+    return None
+
+
+def _ctor_of(call: ast.Call, minfo: ModuleInfo) -> str | None:
+    """The canonical dotted constructor a call invokes, best effort."""
+    resolved = minfo.ctx.resolve(call.func)
+    if resolved is not None:
+        return resolved
+    if isinstance(call.func, ast.Name):
+        local_cls = minfo.classes.get(call.func.id)
+        if local_cls is not None:
+            return local_cls
+        return call.func.id
+    return None
+
+
+def _value_type(
+    value: ast.expr | None, minfo: ModuleInfo, index: ProjectIndex
+) -> str | None:
+    """The type an assignment's right-hand side constructs, if evident."""
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(value, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(value, ast.Call):
+        ctor = _ctor_of(value, minfo)
+        if ctor is not None and (ctor in index.classes or "." in ctor):
+            return ctor
+    return None
+
+
+def _self_attr(target: ast.expr) -> str | None:
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return target.attr
+    return None
+
+
+def _witness_site_name(call: ast.Call) -> str | None:
+    if call.args and isinstance(call.args[0], ast.Constant):
+        value = call.args[0].value
+        if isinstance(value, str):
+            return value
+    return None
+
+
+def build_sites(index: ProjectIndex) -> SiteTable:
+    """Discover every lock site and type table across the project."""
+    table = SiteTable()
+    for class_qualname in sorted(index.classes):
+        _scan_class(index, table, class_qualname)
+    for fn_qualname in sorted(index.functions):
+        _scan_locals(index, table, index.functions[fn_qualname])
+    return table
+
+
+def _scan_class(
+    index: ProjectIndex, table: SiteTable, class_qualname: str
+) -> None:
+    cinfo = index.classes[class_qualname]
+    minfo = index.modules[cinfo.module]
+    types = table.attr_types.setdefault(class_qualname, {})
+
+    # Class-level annotations (``clock: SimClock``) type attributes too.
+    for stmt in cinfo.node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            typed = resolve_annotation(stmt.annotation, minfo, index)
+            if typed is not None:
+                types.setdefault(stmt.target.id, typed)
+
+    init_qualname = cinfo.methods.get("__init__")
+    init = index.functions.get(init_qualname) if init_qualname else None
+    if init is None:
+        return
+
+    #: Annotated __init__ parameters, so ``self._clock = clock`` below
+    #: inherits the parameter's declared type.
+    param_types: dict[str, str] = {}
+    args = init.node.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        typed = resolve_annotation(arg.annotation, minfo, index)
+        if typed is not None:
+            param_types[arg.arg] = typed
+
+    for node in iter_own_nodes(init.node):
+        if isinstance(node, ast.AnnAssign):
+            attr = _self_attr(node.target)
+            if attr is not None:
+                typed = resolve_annotation(node.annotation, minfo, index)
+                if typed is not None:
+                    types.setdefault(attr, typed)
+            targets: list[ast.expr] = [node.target]
+            value = node.value
+        elif isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        else:
+            continue
+        for target in targets:
+            attr = _self_attr(target)
+            if attr is None:
+                continue
+            site = _site_from_value(
+                value, minfo, owner=class_qualname, binding=attr,
+                name=f"{cinfo.name}.{attr}", table=table,
+            )
+            if site is not None:
+                table.sites[site.name] = site
+                table.attr_sites[(class_qualname, attr)] = site
+                continue
+            if isinstance(value, ast.Name) and value.id in param_types:
+                types.setdefault(attr, param_types[value.id])
+                continue
+            typed = _value_type(value, minfo, index)
+            if typed is not None:
+                types.setdefault(attr, typed)
+
+
+def _site_from_value(
+    value: ast.expr | None,
+    minfo: ModuleInfo,
+    owner: str,
+    binding: str,
+    name: str,
+    table: SiteTable,
+) -> LockSite | None:
+    if not isinstance(value, ast.Call):
+        return None
+    ctor = _ctor_of(value, minfo)
+    if ctor in LOCK_CTORS:
+        kind, reentrant = LOCK_CTORS[ctor]
+    elif ctor in WITNESS_CTORS or (
+        isinstance(value.func, ast.Name) and value.func.id == "witness_lock"
+    ):
+        kind, reentrant = "Lock", False
+        declared = _witness_site_name(value)
+        if declared is not None and declared != name:
+            table.mismatched.append(
+                (declared, name, minfo.path, value.lineno)
+            )
+    else:
+        return None
+    return LockSite(
+        name=name,
+        kind=kind,
+        reentrant=reentrant,
+        scope="attr",
+        owner=owner,
+        binding=binding,
+        path=minfo.path,
+        lineno=value.lineno,
+    )
+
+
+def _scan_locals(
+    index: ProjectIndex, table: SiteTable, fn: FunctionInfo
+) -> None:
+    minfo = index.modules[fn.module]
+    for node in iter_own_nodes(fn.node):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        ctor = _ctor_of(node.value, minfo)
+        if ctor not in LOCK_CTORS:
+            continue
+        kind, reentrant = LOCK_CTORS[ctor]
+        for target in node.targets:
+            if not isinstance(target, ast.Name):
+                continue
+            name = f"{fn.qualname}.{target.id}"
+            site = LockSite(
+                name=name,
+                kind=kind,
+                reentrant=reentrant,
+                scope="local",
+                owner=fn.qualname,
+                binding=target.id,
+                path=minfo.path,
+                lineno=node.lineno,
+            )
+            table.sites[name] = site
+            table.local_sites[(fn.qualname, target.id)] = site

@@ -10,10 +10,10 @@ output).
 from __future__ import annotations
 
 import abc
-import threading
 from dataclasses import dataclass
 
 from repro.entities.queries import Query
+from repro.lockorder import witness_lock
 from repro.webgraph.pages import Page
 from repro.webgraph.urls import normalize_url
 
@@ -79,7 +79,7 @@ class AnswerEngine(abc.ABC):
 
     def __init__(self) -> None:
         self._answer_cache: dict[str, Answer] = {}
-        self._cache_lock = threading.Lock()
+        self._cache_lock = witness_lock("AnswerEngine._cache_lock")
         self._cache_hits = 0
         self._cache_misses = 0
         #: Optional ResilienceContext guarding _answer_uncached (the

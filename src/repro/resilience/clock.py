@@ -10,7 +10,7 @@ plan observe identical clocks.
 
 from __future__ import annotations
 
-import threading
+from repro.lockorder import witness_lock
 
 __all__ = ["SimClock"]
 
@@ -20,7 +20,7 @@ class SimClock:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._lock = threading.Lock()
+        self._lock = witness_lock("SimClock._lock")
 
     def now(self) -> float:
         """Current simulated time in seconds."""

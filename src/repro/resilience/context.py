@@ -13,11 +13,11 @@ model.
 
 from __future__ import annotations
 
-import threading
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.lockorder import witness_lock
 from repro.resilience.clock import SimClock
 from repro.resilience.faults import (
     FaultInjector,
@@ -59,7 +59,7 @@ class ResilienceEvents:
 
     def __init__(self) -> None:
         self._counts: dict[str, int] = {}
-        self._lock = threading.Lock()
+        self._lock = witness_lock("ResilienceEvents._lock")
 
     def bump(self, name: str, by: int = 1) -> None:
         with self._lock:
@@ -101,7 +101,7 @@ class ResilienceContext:
         self.quarantine = Quarantine()
         self.events = ResilienceEvents()
         self._breakers: dict[str, CircuitBreaker] = {}
-        self._lock = threading.Lock()
+        self._lock = witness_lock("ResilienceContext._lock")
         self._phase = "(ad hoc)"
         self._phase_start = 0.0
 

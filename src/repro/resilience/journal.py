@@ -20,10 +20,10 @@ from __future__ import annotations
 
 import json
 import pathlib
-import threading
 
 from repro.engines.base import Answer, Citation
 from repro.llm.rng import derive_seed
+from repro.lockorder import witness_lock
 
 __all__ = ["RunJournal", "journal_key"]
 
@@ -86,7 +86,7 @@ class RunJournal:
         self.path = pathlib.Path(path)
         self.resumed = resume
         self._entries: dict[str, dict] = {}
-        self._lock = threading.Lock()
+        self._lock = witness_lock("RunJournal._lock")
         self.path.parent.mkdir(parents=True, exist_ok=True)
         if resume and self.path.exists():
             self._load()
@@ -140,5 +140,9 @@ class RunJournal:
             if key in self._entries:
                 return
             self._entries[key] = entry
-            with self.path.open("a", encoding="utf-8") as handle:
+            # The append stays under the lock on purpose: the dedupe
+            # check and the write must be atomic (idempotency), and
+            # serialized appends are what keep journal lines untorn.
+            # Writes are one short line, open/append/close.
+            with self.path.open("a", encoding="utf-8") as handle:  # locklint: ignore[LOCK002] -- dedupe+append must be atomic; bounded one-line write
                 handle.write(json.dumps(entry, sort_keys=True) + "\n")

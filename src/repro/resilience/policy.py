@@ -12,9 +12,9 @@ a failure, and results cannot depend on breaker state.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 
+from repro.lockorder import witness_lock
 from repro.resilience.clock import SimClock
 
 __all__ = ["CircuitBreaker", "RetryPolicy"]
@@ -68,7 +68,7 @@ class CircuitBreaker:
         self._clock = clock
         self._threshold = failure_threshold
         self._cooldown = cooldown
-        self._lock = threading.Lock()
+        self._lock = witness_lock("CircuitBreaker._lock")
         self._consecutive = 0
         self._opened_at: float | None = None
         self.opens = 0

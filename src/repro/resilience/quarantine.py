@@ -12,8 +12,9 @@ full quarantine (the query produced no usable answer) from degradation
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
+
+from repro.lockorder import witness_lock
 
 __all__ = ["Quarantine", "QuarantineRecord"]
 
@@ -36,7 +37,7 @@ class Quarantine:
 
     def __init__(self) -> None:
         self._records: list[QuarantineRecord] = []
-        self._lock = threading.Lock()
+        self._lock = witness_lock("Quarantine._lock")
 
     def __len__(self) -> int:
         return len(self._records)

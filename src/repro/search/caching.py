@@ -17,10 +17,11 @@ construction).
 
 from __future__ import annotations
 
-import threading
 from collections.abc import Callable, Hashable
 from dataclasses import dataclass
 from typing import Any
+
+from repro.lockorder import witness_lock
 
 __all__ = ["BoundedCache", "CacheCounters"]
 
@@ -67,7 +68,7 @@ class BoundedCache:
             raise ValueError("limit must be at least 1")
         self._limit = limit
         self._cache: dict[Hashable, Any] = {}
-        self._lock = threading.Lock()
+        self._lock = witness_lock("BoundedCache._lock")
         self._hits = 0
         self._misses = 0
         self._evictions = 0

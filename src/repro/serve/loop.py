@@ -167,14 +167,18 @@ class ServeLoop:
                     self.stats.record_admission_wait()
                     admission.acquire()
                 submitted = time.perf_counter()  # detlint: ignore[DET002] -- latency telemetry
-                futures.append(
-                    (
-                        position,
-                        pool.submit(
-                            self._serve_one, request, submitted, admission, ctx
-                        ),
+                try:
+                    future = pool.submit(
+                        self._serve_one, request, submitted, admission, ctx
                     )
-                )
+                except BaseException:
+                    # The slot's release belongs to the worker; if the
+                    # handoff itself fails (pool shut down mid-drain),
+                    # no worker will ever run, so give the slot back
+                    # here or the semaphore leaks permits.
+                    admission.release()
+                    raise
+                futures.append((position, future))
             # Collection in submission order: result order is stream
             # order, independent of completion order.
             for position, future in futures:

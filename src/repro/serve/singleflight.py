@@ -21,15 +21,44 @@ Thread-safety contract (conclint CONC002): all group bookkeeping —
 registration, removal, waiter counting — happens under the instance
 lock; the computation itself runs outside it so followers of *other*
 keys are never serialized behind an unrelated leader.
+
+Failure sharing re-raises a per-follower *copy* of the leader's
+exception, never the leader's own instance: ``raise`` assigns
+``__traceback__`` on the raised object, so N threads re-raising one
+shared instance race on that mutable field and produce interleaved
+tracebacks.  The copy keeps the original as ``__cause__`` so nothing
+about the failure is lost.
 """
 
 from __future__ import annotations
 
+import copy
 import threading
 from collections.abc import Callable, Hashable
 from typing import Any
 
+from repro.lockorder import witness_lock
+
 __all__ = ["SingleFlight"]
+
+
+def _follower_copy(error: BaseException) -> BaseException:
+    """A fresh exception instance for one follower to raise.
+
+    Raising mutates the instance (``__traceback__``), so followers must
+    not share the leader's.  ``copy.copy`` preserves the concrete type —
+    ``except ResilienceExhausted`` handlers upstream keep matching — and
+    the original rides along as ``__cause__``.  Exotic exceptions that
+    refuse to copy fall back to the shared instance: a cosmetic
+    traceback race beats swallowing the failure.
+    """
+    try:
+        clone = copy.copy(error)
+    except Exception:
+        return error
+    clone.__cause__ = error
+    clone.__traceback__ = None
+    return clone
 
 
 class _Flight:
@@ -48,7 +77,7 @@ class SingleFlight:
     """Collapse concurrent calls per key into one computation."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = witness_lock("SingleFlight._lock")
         self._inflight: dict[Hashable, _Flight] = {}
         self._led = 0
         self._coalesced = 0
@@ -64,9 +93,11 @@ class SingleFlight:
         Returns ``(value, led)``: ``led`` is ``True`` for the caller
         that actually ran ``fn`` and ``False`` for every follower that
         received the leader's result.  If the leader raised, every
-        follower re-raises the same exception instance — deterministic
+        follower re-raises its own copy of the leader's exception (same
+        type, original chained as ``__cause__``) — deterministic
         computations fail identically, so sharing the failure preserves
-        what a non-coalesced run would have seen.
+        what a non-coalesced run would have seen, without N threads
+        racing on one instance's ``__traceback__``.
         """
         with self._lock:
             flight = self._inflight.get(key)
@@ -82,7 +113,7 @@ class SingleFlight:
         if not led:
             flight.done.wait()
             if flight.error is not None:
-                raise flight.error
+                raise _follower_copy(flight.error)
             return flight.value, False
         try:
             flight.value = fn()

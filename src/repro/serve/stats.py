@@ -20,8 +20,9 @@ All counter and latency writes happen under the instance lock
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
+
+from repro.lockorder import witness_lock
 
 __all__ = ["LatencySummary", "ServeSnapshot", "ServeStats", "percentile"]
 
@@ -139,7 +140,7 @@ class ServeStats:
     """Lock-guarded accumulator shared by the serve loop's workers."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = witness_lock("ServeStats._lock")
         self._outcomes = {name: 0 for name in OUTCOMES}
         self._admission_waits = 0
         self._service: list[float] = []
@@ -169,15 +170,25 @@ class ServeStats:
             self._sim_seconds += sim_seconds
 
     def snapshot(self) -> ServeSnapshot:
+        # Copy under the lock, summarize outside it: LatencySummary.of
+        # sorts the whole sample, and an O(n log n) pass under a lock
+        # every worker touches per request is a convoy (locklint
+        # LOCK002's compute-outside-the-lock discipline).
         with self._lock:
-            return ServeSnapshot(
-                outcomes=dict(self._outcomes),
-                admission_waits=self._admission_waits,
-                service=LatencySummary.of(self._service),
-                queue_delay=LatencySummary.of(self._queue_delay),
-                wall_seconds=self._wall_seconds,
-                sim_seconds=self._sim_seconds,
-            )
+            outcomes = dict(self._outcomes)
+            admission_waits = self._admission_waits
+            service = list(self._service)
+            queue_delay = list(self._queue_delay)
+            wall_seconds = self._wall_seconds
+            sim_seconds = self._sim_seconds
+        return ServeSnapshot(
+            outcomes=outcomes,
+            admission_waits=admission_waits,
+            service=LatencySummary.of(service),
+            queue_delay=LatencySummary.of(queue_delay),
+            wall_seconds=wall_seconds,
+            sim_seconds=sim_seconds,
+        )
 
     def reset(self) -> None:
         with self._lock:

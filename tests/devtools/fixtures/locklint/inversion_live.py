@@ -1,0 +1,31 @@
+"""A two-lock inversion built on :func:`repro.lockorder.witness_lock`.
+
+This fixture is checked twice, by design:
+
+* **statically** — locklint flags the inversion as LOCK001
+  (``tests/devtools/test_locklint_rules.py``);
+* **dynamically** — with ``REPRO_LOCK_WITNESS=1`` the same inversion,
+  actually executed, raises :class:`repro.lockorder.LockOrderViolation`
+  instead of deadlocking (``tests/test_lockwitness.py``).
+
+The static and runtime halves of the lock-discipline contract must
+agree on this module or one of them is broken.
+"""
+
+from repro.lockorder import witness_lock
+
+
+class InvertedPair:
+    def __init__(self):
+        self._first = witness_lock("InvertedPair._first")
+        self._second = witness_lock("InvertedPair._second")
+
+    def forward(self):
+        with self._first:
+            with self._second:  # expect[LOCK001]
+                return "forward"
+
+    def backward(self):
+        with self._second:
+            with self._first:
+                return "backward"

@@ -1,0 +1,47 @@
+"""LOCK001 fixture: two lock pairs acquired in both orders.
+
+``Pair._a``/``Pair._b`` invert directly (nested ``with`` blocks in
+opposite orders); ``Pair._c``/``Pair._d`` invert interprocedurally —
+``caller_cd`` holds ``_c`` across a call whose callee acquires ``_d``,
+while ``backward_cd`` nests the locks the other way round.  Each pair
+is reported exactly once, anchored at the edge that sorts first.
+"""
+
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self._c = threading.Lock()
+        self._d = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            with self._b:  # expect[LOCK001]
+                return "a then b"
+
+    def backward(self):
+        with self._b:
+            with self._a:
+                return "b then a"
+
+    def caller_cd(self):
+        with self._c:
+            return self._grab_d()  # expect[LOCK001]
+
+    def _grab_d(self):
+        with self._d:
+            return "d"
+
+    def backward_cd(self):
+        with self._d:
+            with self._c:
+                return "d then c"
+
+    def repeat_forward(self):
+        # Same order as forward(): no new cycle, no second finding.
+        with self._a:
+            with self._b:
+                return "still a then b"

@@ -1,0 +1,49 @@
+"""LOCK002 fixture: blocking operations reachable while a lock is held.
+
+Direct hazards (sleep, ``Event.wait``, ``Queue.get``, builtin ``open``)
+and an interprocedural one (a call whose callee sleeps).  The same
+blocking operations *outside* the lock must stay clean — LOCK002 is
+about the held set, not the operation.
+"""
+
+import queue
+import threading
+import time
+
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._ready = threading.Event()
+        self._jobs = queue.Queue()
+
+    def direct_sleep(self):
+        with self._lock:
+            time.sleep(0.1)  # expect[LOCK002]
+
+    def event_wait(self):
+        with self._lock:
+            self._ready.wait()  # expect[LOCK002]
+
+    def queue_get(self):
+        with self._lock:
+            return self._jobs.get()  # expect[LOCK002]
+
+    def file_io(self):
+        with self._lock:
+            with open("state.json") as handle:  # expect[LOCK002]
+                return handle.read()
+
+    def indirect(self):
+        with self._lock:
+            self._fetch()  # expect[LOCK002]
+
+    def _fetch(self):
+        time.sleep(0.2)  # not held here: fine
+
+    def outside(self):
+        time.sleep(0.3)  # no lock held: fine
+        self._ready.wait()  # fine
+        with self._lock:
+            pass
+        return self._jobs.get()  # fine

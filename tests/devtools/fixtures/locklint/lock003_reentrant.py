@@ -1,0 +1,38 @@
+"""LOCK003 fixture: re-entrant acquisition of non-reentrant sites.
+
+A direct nested re-entry and an interprocedural one (holding the lock
+across a call to a method that takes it again).  Re-entering an RLock
+is that primitive's contract and must stay clean.
+"""
+
+import threading
+
+
+class DirectCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._rlock = threading.RLock()
+
+    def double_enter(self):
+        with self._lock:
+            with self._lock:  # expect[LOCK003]
+                return "deadlocked"
+
+    def rlock_reenter(self):
+        with self._rlock:
+            with self._rlock:  # reentrant by contract: fine
+                return "fine"
+
+
+class IndirectCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._n = 0
+
+    def bump(self):
+        with self._lock:
+            self._log()  # expect[LOCK003]
+
+    def _log(self):
+        with self._lock:
+            self._n += 1

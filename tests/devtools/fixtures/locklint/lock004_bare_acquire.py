@@ -1,0 +1,48 @@
+"""LOCK004 fixture: bare ``.acquire()`` without a guaranteed release.
+
+An exception between the acquire and the release leaks the lock (or a
+semaphore permit) forever.  Guarded shapes — try/finally and the
+handoff pattern (release in an ``except`` handler, success path hands
+ownership downstream) — must stay clean.
+"""
+
+import threading
+
+
+class Handoff:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._gate = threading.Semaphore(2)
+        self._n = 0
+
+    def bare(self):
+        self._lock.acquire()  # expect[LOCK004]
+        self._n += 1
+        self._lock.release()
+
+    def bare_semaphore(self):
+        self._gate.acquire()  # expect[LOCK004]
+        self._n += 1
+        self._gate.release()
+
+    def guarded_finally(self):
+        self._lock.acquire()
+        try:
+            self._n += 1
+        finally:
+            self._lock.release()
+
+    def guarded_handoff(self):
+        self._gate.acquire()
+        try:
+            self._ship()
+        except Exception:
+            self._gate.release()
+            raise
+
+    def _ship(self):
+        self._n += 1
+
+    def with_block(self):
+        with self._lock:
+            self._n += 1

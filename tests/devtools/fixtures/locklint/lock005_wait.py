@@ -1,0 +1,31 @@
+"""LOCK005 fixture: ``Condition.wait`` outside a predicate loop.
+
+A naked ``wait()`` trusts that one wakeup means the condition holds;
+spurious wakeups and stolen signals break that.  The canonical
+``while not predicate: wait()`` shape must stay clean, as must
+``notify`` calls.
+"""
+
+import threading
+
+
+class Mailbox:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._items = []
+
+    def naked_wait(self):
+        with self._cond:
+            self._cond.wait()  # expect[LOCK005]
+            return self._items.pop()
+
+    def predicate_wait(self):
+        with self._cond:
+            while not self._items:
+                self._cond.wait()  # predicate loop: fine
+            return self._items.pop()
+
+    def put(self, item):
+        with self._cond:
+            self._items.append(item)
+            self._cond.notify()

@@ -1,0 +1,17 @@
+"""Pragma namespacing: a ``locklint: ignore`` waives, other tools' don't."""
+
+import threading
+import time
+
+
+class Sleeper:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def waived(self):
+        with self._lock:
+            time.sleep(0.1)  # locklint: ignore[LOCK002] -- fixture: bounded pause under lock
+
+    def wrong_tool(self):
+        with self._lock:
+            time.sleep(0.1)  # detlint: ignore[LOCK002] -- wrong namespace, must not waive

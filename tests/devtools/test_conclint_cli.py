@@ -7,7 +7,7 @@ from pathlib import Path
 from repro.__main__ import main
 from repro.devtools.conclint import analyze_paths
 from repro.devtools.conclint.rules import conc_rule_table
-from repro.devtools.detlint.baseline import write_baseline
+from repro.devtools.common.baseline import write_baseline
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 FIXTURES = Path(__file__).parent / "fixtures" / "conclint"

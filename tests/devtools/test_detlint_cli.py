@@ -6,8 +6,8 @@ from pathlib import Path
 
 from repro.__main__ import main
 from repro.devtools.detlint import all_rules, lint_paths, rule_table
-from repro.devtools.detlint.baseline import load_baseline, write_baseline
-from repro.devtools.detlint.reporters import render_json, render_text
+from repro.devtools.common.baseline import load_baseline, write_baseline
+from repro.devtools.common.reporters import render_json, render_text
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 FIXTURES = Path(__file__).parent / "fixtures"

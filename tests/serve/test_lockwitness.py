@@ -1,0 +1,194 @@
+"""The runtime lock-order witness (:mod:`repro.lockorder`).
+
+The witness is the dynamic half of the locklint contract: with
+``REPRO_LOCK_WITNESS=1`` every witnessed acquisition is checked —
+before blocking — against the canonical hierarchy and the global
+observed-order graph, so an ordering bug raises
+:class:`LockOrderViolation` with a readable message instead of hanging
+a worker.  The centerpiece here is the two-lock inversion fixture that
+locklint flags statically (LOCK001) being caught *live* by the witness.
+"""
+
+import importlib.util
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.lockorder import (
+    CANONICAL_HIERARCHY,
+    LockOrderViolation,
+    OrderedLock,
+    observed_edges,
+    reset_witness,
+    witness_lock,
+)
+
+INVERSION_FIXTURE = (
+    Path(__file__).resolve().parents[1]
+    / "devtools" / "fixtures" / "locklint" / "inversion_live.py"
+)
+
+
+@pytest.fixture
+def witness_on(monkeypatch):
+    monkeypatch.setenv("REPRO_LOCK_WITNESS", "1")
+    reset_witness()
+    yield
+    reset_witness()
+
+
+def load_inversion_module():
+    spec = importlib.util.spec_from_file_location(
+        "inversion_live_under_test", INVERSION_FIXTURE
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestWitnessLockFactory:
+    def test_disabled_by_default_returns_plain_lock(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCK_WITNESS", raising=False)
+        lock = witness_lock("ServeStats._lock")
+        assert not isinstance(lock, OrderedLock)
+        with lock:
+            assert lock.locked()
+
+    def test_enabled_returns_ordered_lock(self, witness_on):
+        lock = witness_lock("ServeStats._lock")
+        assert isinstance(lock, OrderedLock)
+        assert lock.site == "ServeStats._lock"
+
+
+class TestOrderedLockSemantics:
+    def test_context_manager_and_locked(self, witness_on):
+        lock = OrderedLock("ServeStats._lock")
+        with lock:
+            assert lock.locked()
+        assert not lock.locked()
+
+    def test_nonblocking_acquire(self, witness_on):
+        lock = OrderedLock("ServeStats._lock")
+        assert lock.acquire(blocking=False)
+        lock.release()
+
+    def test_reentrant_acquisition_raises_instead_of_hanging(self, witness_on):
+        lock = OrderedLock("ServeStats._lock")
+        with lock:
+            with pytest.raises(LockOrderViolation, match="re-entrant"):
+                lock.acquire()
+
+    def test_hierarchy_order_is_allowed(self, witness_on):
+        outer = OrderedLock("CircuitBreaker._lock")
+        inner = OrderedLock("SimClock._lock")
+        with outer:
+            with inner:
+                pass
+        assert (
+            "CircuitBreaker._lock",
+            "SimClock._lock",
+        ) in {(o, i) for o, i, _ in observed_edges()}
+
+    def test_hierarchy_inversion_raises(self, witness_on):
+        # SimClock ranks after CircuitBreaker in CANONICAL_HIERARCHY;
+        # acquiring them inverted must raise before blocking.
+        assert CANONICAL_HIERARCHY.index(
+            "CircuitBreaker._lock"
+        ) < CANONICAL_HIERARCHY.index("SimClock._lock")
+        outer = OrderedLock("SimClock._lock")
+        inner = OrderedLock("CircuitBreaker._lock")
+        with outer:
+            with pytest.raises(LockOrderViolation, match="hierarchy inversion"):
+                with inner:
+                    pass
+        # The failed acquisition must not leak held state.
+        with inner:
+            with outer:
+                pass
+
+    def test_unranked_cycle_detected_via_observed_edges(self, witness_on):
+        # Sites outside the canonical hierarchy still get cycle
+        # detection from the global observed-order graph.
+        a = OrderedLock("Fixture._a")
+        b = OrderedLock("Fixture._b")
+        with a:
+            with b:
+                pass
+        with b:
+            with pytest.raises(LockOrderViolation, match="cycle"):
+                a.acquire()
+
+    def test_cycle_message_names_both_paths(self, witness_on):
+        a = OrderedLock("Fixture._a")
+        b = OrderedLock("Fixture._b")
+        with a:
+            with b:
+                pass
+        with b:
+            with pytest.raises(LockOrderViolation) as excinfo:
+                a.acquire()
+        message = str(excinfo.value)
+        assert "first observed" in message
+        assert "Fixture._a" in message and "Fixture._b" in message
+
+    def test_edges_recorded_across_threads(self, witness_on):
+        a = OrderedLock("Fixture._a")
+        b = OrderedLock("Fixture._b")
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        worker = threading.Thread(target=forward, name="forward-thread")
+        worker.start()
+        worker.join()
+        edges = {(o, i) for o, i, _ in observed_edges()}
+        assert ("Fixture._a", "Fixture._b") in edges
+        # The other thread's edge now protects this thread too.
+        with b:
+            with pytest.raises(LockOrderViolation, match="cycle"):
+                a.acquire()
+
+
+class TestInversionFixtureCaughtLive:
+    """The contract centerpiece: the module locklint flags as LOCK001
+    raises under the witness when the inversion actually executes."""
+
+    def test_inversion_raises_instead_of_deadlocking(self, witness_on):
+        pair = load_inversion_module().InvertedPair()
+        assert isinstance(pair._first, OrderedLock)
+        assert pair.forward() == "forward"
+        with pytest.raises(LockOrderViolation, match="cycle"):
+            pair.backward()
+
+    def test_single_order_alone_is_clean(self, witness_on):
+        pair = load_inversion_module().InvertedPair()
+        for _ in range(3):
+            assert pair.forward() == "forward"
+        edges = {(o, i) for o, i, _ in observed_edges()}
+        assert edges == {("InvertedPair._first", "InvertedPair._second")}
+
+    def test_disabled_witness_means_plain_locks(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCK_WITNESS", raising=False)
+        pair = load_inversion_module().InvertedPair()
+        assert not isinstance(pair._first, OrderedLock)
+        # Run only one order — actually inverting plain locks from one
+        # thread self-deadlocks, which is exactly the point.
+        assert pair.forward() == "forward"
+
+
+class TestHierarchyContract:
+    def test_hierarchy_is_duplicate_free(self):
+        assert len(set(CANONICAL_HIERARCHY)) == len(CANONICAL_HIERARCHY)
+
+    def test_reset_clears_edges(self, witness_on):
+        a = OrderedLock("Fixture._a")
+        b = OrderedLock("Fixture._b")
+        with a:
+            with b:
+                pass
+        assert observed_edges()
+        reset_witness()
+        assert observed_edges() == []

@@ -55,7 +55,7 @@ class TestSingleFlight:
         assert sorted(value for value, _ in results) == [0, 2, 4, 6]
         assert all(led for _, led in results)
 
-    def test_leader_exception_shared_with_followers(self):
+    def test_leader_exception_propagates_to_followers(self):
         flight = SingleFlight()
         gate = threading.Event()
         boom = ValueError("deterministic failure")
@@ -75,11 +75,60 @@ class TestSingleFlight:
                 with pytest.raises(ValueError) as excinfo:
                     future.result()
                 errors.append(excinfo.value)
-        assert all(error is boom for error in errors)
+        # The leader re-raises the original; followers raise per-caller
+        # copies chained to it (so error type and args still match, and
+        # `except ValueError` handlers behave identically everywhere).
+        assert sum(error is boom for error in errors) == 1
+        followers = [error for error in errors if error is not boom]
+        assert len(followers) == 3
+        assert all(error.__cause__ is boom for error in followers)
+        assert all(error.args == boom.args for error in followers)
         # A failed flight retires too: the key is free again.
         assert len(flight) == 0
         value, led = flight.do("k", lambda: "recovered")
         assert (value, led) == ("recovered", True)
+
+    def test_followers_raise_distinct_exception_instances(self):
+        # Regression: followers used to re-raise the *same* exception
+        # instance the leader raised.  Concurrent raises then mutated
+        # one shared `__traceback__` across threads, producing garbled
+        # tracebacks under load.  Each follower must get its own copy.
+        flight = SingleFlight()
+        gate = threading.Event()
+        boom = ValueError("shared failure")
+
+        def compute():
+            gate.wait(timeout=5.0)
+            raise boom
+
+        followers = 6
+        with ThreadPoolExecutor(max_workers=followers + 1) as pool:
+            futures = [
+                pool.submit(flight.do, "k", compute)
+                for _ in range(followers + 1)
+            ]
+            deadline = time.monotonic() + 5.0
+            while (
+                flight.counters()[1] < followers
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.001)
+            gate.set()
+            errors = []
+            for future in futures:
+                with pytest.raises(ValueError) as excinfo:
+                    future.result()
+                errors.append(excinfo.value)
+        assert len(errors) == followers + 1
+        # Every caller saw a ValueError, but no two followers share an
+        # instance — and none shares the leader's traceback object.
+        follower_errors = [error for error in errors if error is not boom]
+        assert len(follower_errors) == followers
+        assert len({id(error) for error in follower_errors}) == followers
+        for error in follower_errors:
+            assert type(error) is ValueError
+            assert error.__cause__ is boom
+            assert error.__traceback__ is not boom.__traceback__
 
     def test_reset_zeroes_counters(self):
         flight = SingleFlight()

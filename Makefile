@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test chaos lint detlint conclint locklint lint-baseline conclint-baseline locklint-baseline lockwitness bench bench-paper serve serve-smoke study calibrate stability examples clean
+.PHONY: install test chaos lint detlint conclint locklint cachelint lint-baseline conclint-baseline locklint-baseline cachelint-baseline lockwitness cachewitness bench bench-paper serve serve-smoke study calibrate stability examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -14,7 +14,7 @@ chaos:
 	REPRO_WORKERS=1 pytest tests/resilience/ -q
 	REPRO_WORKERS=4 pytest tests/resilience/ -q
 
-lint: detlint conclint locklint
+lint: detlint conclint locklint cachelint
 
 detlint:
 	python -m repro lint
@@ -25,6 +25,9 @@ conclint:
 locklint:
 	python -m repro locklint
 
+cachelint:
+	python -m repro cachelint
+
 lint-baseline:
 	python -m repro lint --update-baseline
 
@@ -34,11 +37,21 @@ conclint-baseline:
 locklint-baseline:
 	python -m repro locklint --update-baseline
 
+cachelint-baseline:
+	python -m repro cachelint --update-baseline
+
 # The serving/resilience suites with the runtime lock-order witness
 # armed: every witnessed acquisition is checked against the canonical
 # hierarchy, so an ordering bug raises instead of hanging a worker.
 lockwitness:
 	REPRO_LOCK_WITNESS=1 REPRO_WORKERS=4 pytest tests/serve/ tests/resilience/ -q
+
+# The serving/search suites with the runtime cache-staleness witness
+# armed: every instrumented cache fingerprints values at insert and
+# checks an epoch stamp on every hit, so a stale read raises instead of
+# silently skewing results.
+cachewitness:
+	REPRO_CACHE_WITNESS=1 REPRO_WORKERS=4 pytest tests/serve/ tests/search/ tests/engines/ -q
 
 bench:
 	pytest benchmarks/ --benchmark-only --benchmark-disable-gc

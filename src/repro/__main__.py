@@ -229,28 +229,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--full", action="store_true", help="print full answer texts, not just citations"
     )
 
-    from repro.devtools.detlint.cli import configure_parser as configure_lint
+    from repro.devtools.common.cli import register_tool_parsers
 
-    lint = sub.add_parser(
-        "lint", help="run the determinism linter over the library source"
-    )
-    configure_lint(lint)
-
-    from repro.devtools.conclint.cli import configure_parser as configure_conclint
-
-    conclint = sub.add_parser(
-        "conclint",
-        help="run the interprocedural concurrency-safety analyzer",
-    )
-    configure_conclint(conclint)
-
-    from repro.devtools.locklint.cli import configure_parser as configure_locklint
-
-    locklint = sub.add_parser(
-        "locklint",
-        help="run the lock-discipline & blocking-hazard analyzer",
-    )
-    configure_locklint(locklint)
+    register_tool_parsers(sub)
     return parser
 
 
@@ -487,18 +468,11 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "ask":
         return _cmd_ask(args)
-    if args.command == "lint":
-        from repro.devtools.detlint.cli import run_lint
+    from repro.devtools.common.cli import run_tool_command
 
-        return run_lint(args)
-    if args.command == "conclint":
-        from repro.devtools.conclint.cli import run_conclint
-
-        return run_conclint(args)
-    if args.command == "locklint":
-        from repro.devtools.locklint.cli import run_locklint
-
-        return run_locklint(args)
+    tool_exit = run_tool_command(args.command, args)
+    if tool_exit is not None:
+        return tool_exit
     return _cmd_run(args)
 
 

@@ -1,0 +1,207 @@
+"""Runtime cache-staleness witness (``REPRO_CACHE_WITNESS=1``).
+
+The static half of the cache-coherence contract is
+:mod:`repro.devtools.cachelint`; this module is the dynamic half, the
+exact pairing :mod:`repro.lockorder` provides for lock discipline.  With
+``REPRO_CACHE_WITNESS=1`` every cache built through
+:func:`witness_for` gets a live :class:`CacheWitness` that
+
+* **fingerprints** each stored value at insert time (a structural
+  digest, not ``id()`` and not the builtin ``hash()`` — detlint DET004
+  forbids the latter on the result path) and re-verifies the
+  fingerprint on every cached read, so a cached mutable value that some
+  caller aliased and mutated post-insert (cachelint CACHE004) raises
+  instead of silently serving the mutated object as if it were the
+  computed one;
+* stamps each entry with the owning structure's **generation counter**
+  (the ``epochs`` supplier — e.g. the index epoch behind a query cache)
+  and checks the stamp on every cached read and on every re-insert, so
+  an entry outliving the epoch it was computed under (cachelint
+  CACHE002/CACHE003) raises instead of skewing freshness results;
+* rejects a **re-insert under the same key with a different value**:
+  everything in this codebase is deterministic, so two different values
+  for one key mean the key does not capture everything the value
+  depends on — the epoch-key rule violated dynamically.
+
+All failures raise :class:`CacheCoherenceViolation` deterministically.
+Disabled (the default), :func:`witness_for` returns ``None`` and the
+instrumented caches skip a single ``is not None`` check — the serving
+digest is byte-identical with the witness on or off, which CI pins by
+running the serve smoke under ``REPRO_CACHE_WITNESS=1``.
+
+Like :func:`repro.lockorder.witness_lock`, enablement is decided at
+cache construction time via
+:func:`repro.core.config.cache_witness_enabled`.
+
+This module is exempt from cachelint by construction (it *implements*
+the verification layer, so its internal tables are not cache sites),
+mirroring ``repro.lockorder``'s locklint exemption.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from collections.abc import Callable, Hashable
+from typing import Any
+
+from repro.core.config import cache_witness_enabled
+from repro.lockorder import witness_lock
+
+__all__ = ["CacheCoherenceViolation", "CacheWitness", "fingerprint", "witness_for"]
+
+
+class CacheCoherenceViolation(RuntimeError):
+    """A cached read or insert broke the cache-coherence contract."""
+
+
+#: Recursion bound for structural fingerprints.  Cached values in this
+#: codebase are shallow (tuples of dataclasses of scalars); the bound
+#: only guards pathological object graphs.
+_MAX_DEPTH = 8
+
+
+def _canon(value: Any, depth: int = 0) -> str:
+    """A deterministic structural rendering of ``value``.
+
+    The default ``object.__repr__`` embeds the object's address, which
+    is both nondeterministic and mutation-blind, so containers,
+    dataclasses and plain attribute objects are rendered field by field
+    instead.  Two structurally equal values always render identically;
+    mutating a value changes its rendering.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return repr(value)
+    if depth >= _MAX_DEPTH:
+        return f"<depth:{type(value).__name__}>"
+    if isinstance(value, (list, tuple)):
+        inner = ",".join(_canon(item, depth + 1) for item in value)
+        return f"{type(value).__name__}[{inner}]"
+    if isinstance(value, (set, frozenset)):
+        inner = ",".join(sorted(_canon(item, depth + 1) for item in value))
+        return f"{type(value).__name__}{{{inner}}}"
+    if isinstance(value, dict):
+        items = sorted(
+            (_canon(k, depth + 1), _canon(v, depth + 1)) for k, v in value.items()
+        )
+        return "dict{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ",".join(
+            f"{f.name}={_canon(getattr(value, f.name), depth + 1)}"
+            for f in dataclasses.fields(value)
+        )
+        return f"{type(value).__name__}({fields})"
+    state = getattr(value, "__dict__", None)
+    if isinstance(state, dict):
+        inner = ",".join(
+            f"{name}={_canon(attr, depth + 1)}"
+            for name, attr in sorted(state.items())
+        )
+        return f"{type(value).__name__}({inner})"
+    return f"<{type(value).__name__}>"
+
+
+def fingerprint(value: Any) -> str:
+    """A short stable digest of a value's structure and content."""
+    return hashlib.blake2b(
+        _canon(value).encode("utf-8"), digest_size=16
+    ).hexdigest()
+
+
+class CacheWitness:
+    """Insert-time fingerprints and epoch stamps for one cache instance.
+
+    One witness per cache object (never shared), so identical keys in
+    two caches — two engines memoizing the same query — cannot collide.
+    The witness table is keyed by the cache's own keys and deliberately
+    survives eviction: a later re-insert of an evicted key must still
+    reproduce the original fingerprint, otherwise the key was not
+    epoch-complete.  :meth:`clear` (wired to the cache's own ``clear``)
+    is the only legitimate wholesale invalidation.
+    """
+
+    def __init__(
+        self,
+        site: str,
+        epochs: Callable[[], Hashable] | None = None,
+    ) -> None:
+        self.site = site
+        self._epochs = epochs
+        #: key -> (value fingerprint, epoch stamp at insert).
+        self._seen: dict[Hashable, tuple[str, Hashable]] = {}
+        self._lock = witness_lock("CacheWitness._lock")
+
+    def _stamp(self) -> Hashable:
+        return self._epochs() if self._epochs is not None else None
+
+    def record(self, key: Hashable, value: Any) -> None:
+        """Witness an insert; raises if it contradicts a previous one."""
+        digest = fingerprint(value)
+        stamp = self._stamp()
+        with self._lock:
+            previous = self._seen.get(key)
+            self._seen[key] = (digest, stamp)
+        if previous is not None and previous[0] != digest:
+            raise CacheCoherenceViolation(
+                f"{self.site}: re-insert under key {key!r} changed the "
+                f"stored value (fingerprint {previous[0]} -> {digest}); "
+                "the key does not capture everything the value depends on "
+                "(epoch component missing?)"
+            )
+
+    def verify(self, key: Hashable, value: Any) -> None:
+        """Witness a cached read; raises on mutation or epoch drift."""
+        with self._lock:
+            entry = self._seen.get(key)
+        if entry is None:
+            # A hit on an entry inserted before the witness attached
+            # (or inherited across a fork): adopt it as ground truth.
+            self.record(key, value)
+            return
+        stored_digest, stored_stamp = entry
+        digest = fingerprint(value)
+        if digest != stored_digest:
+            raise CacheCoherenceViolation(
+                f"{self.site}: cached value for key {key!r} was mutated "
+                f"after insert (fingerprint {stored_digest} -> {digest}); "
+                "a caller aliases the stored object"
+            )
+        stamp = self._stamp()
+        if stamp != stored_stamp:
+            raise CacheCoherenceViolation(
+                f"{self.site}: cached read at epoch {stamp!r} of an entry "
+                f"inserted at epoch {stored_stamp!r}; the entry outlived "
+                "its generation without invalidation"
+            )
+
+    def forget(self, key: Hashable) -> None:
+        """Drop one key's witness entry (paired with explicit deletes)."""
+        with self._lock:
+            self._seen.pop(key, None)
+
+    def clear(self) -> None:
+        """Wholesale invalidation, paired with the cache's ``clear()``."""
+        with self._lock:
+            self._seen.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._seen)
+
+
+def witness_for(
+    site: str, epochs: Callable[[], Hashable] | None = None
+) -> CacheWitness | None:
+    """A :class:`CacheWitness` for one cache site, or ``None``.
+
+    ``site`` names the cache for diagnostics (``"Class._attr"``, the
+    same convention as lock sites).  ``epochs`` optionally supplies the
+    generation stamp of the structure the cached values derive from
+    (e.g. ``lambda: index.epoch``); content-addressed caches pass
+    nothing.  Returns ``None`` unless ``REPRO_CACHE_WITNESS=1`` — the
+    instrumented hot paths then skip witnessing with one ``is not
+    None`` test.
+    """
+    if not cache_witness_enabled():
+        return None
+    return CacheWitness(site, epochs=epochs)

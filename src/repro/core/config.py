@@ -17,6 +17,7 @@ __all__ = [
     "EXECUTORS",
     "StudyConfig",
     "WorkloadSizes",
+    "cache_witness_enabled",
     "default_workers",
     "lock_witness_enabled",
 ]
@@ -51,6 +52,22 @@ def lock_witness_enabled() -> bool:
     sites.
     """
     return os.environ.get("REPRO_LOCK_WITNESS", "") == "1"
+
+
+def cache_witness_enabled() -> bool:
+    """Whether ``REPRO_CACHE_WITNESS=1`` turned on the staleness witness.
+
+    Debug-only: when set, every :func:`repro.cachewitness.witness_for`
+    site returns a live witness that fingerprints stored values at
+    insert, re-verifies the fingerprint on every cached read, and checks
+    the generation counters of epoch-bearing structures — staleness
+    raises ``CacheCoherenceViolation`` deterministically instead of
+    silently skewing results (see ``docs/architecture.md``).  Checked at
+    cache-construction time, like :func:`lock_witness_enabled` this is
+    an env hook so CI can flip a whole test leg without touching call
+    sites.
+    """
+    return os.environ.get("REPRO_CACHE_WITNESS", "") == "1"
 
 
 @dataclass(frozen=True)

@@ -61,6 +61,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from repro.cachewitness import witness_for
 from repro.engines.base import Answer
 from repro.entities.queries import Query
 from repro.llm.rng import derive_seed
@@ -145,6 +146,11 @@ class EvidenceCache:
         self._limit = limit
         self._entries: dict[Hashable, Any] = {}
         self._lock = witness_lock("EvidenceCache._lock")
+        #: Staleness witness (None unless REPRO_CACHE_WITNESS=1).  No
+        #: epoch supplier: the cache never sees the index — the *keys*
+        #: carry the index epoch (the study appends it), which the
+        #: witness's same-key/different-value check enforces.
+        self._witness = witness_for("EvidenceCache._entries")
         self.stats = CacheStats()
         #: Optional ResilienceContext guarding the compute path.
         self.resilience: ResilienceContext | None = None
@@ -160,7 +166,16 @@ class EvidenceCache:
         with self._lock:
             if key in self._entries:
                 self.stats.hits += 1
-                return self._entries[key]
+                cached = self._entries[key]
+                hit = True
+            else:
+                hit = False
+        if hit:
+            # Witness checks run outside the lock (leaf-level witness
+            # lock; see CANONICAL_HIERARCHY).
+            if self._witness is not None:
+                self._witness.verify(key, cached)
+            return cached
         ctx = self.resilience
         if ctx is not None:
             value = ctx.call("evidence.context", key, compute)
@@ -168,6 +183,7 @@ class EvidenceCache:
             value = compute()
         with self._lock:
             if key not in self._entries:
+                inserted = True
                 self.stats.misses += 1
                 self._entries[key] = value
                 while len(self._entries) > self._limit:
@@ -176,14 +192,23 @@ class EvidenceCache:
             else:
                 # Lost a racing duplicate computation: the winner's
                 # insert was the one miss; this caller observed a hit.
+                inserted = False
                 self.stats.hits += 1
-            return self._entries[key]
+            stored = self._entries[key]
+        if self._witness is not None:
+            if inserted:
+                self._witness.record(key, stored)
+            else:
+                self._witness.verify(key, stored)
+        return stored
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
         with self._lock:
             self._entries.clear()
             self.stats = CacheStats()
+        if self._witness is not None:
+            self._witness.clear()
 
 
 # ----------------------------------------------------------------------

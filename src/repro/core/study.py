@@ -165,10 +165,12 @@ class ComparativeStudy:
     def _evidence_context(self, query: Query, depth: int = 10) -> ContextWindow:
         """Retrieve the Section 3.1 evidence ``D_q`` for one query.
 
-        Memoized on the world's evidence cache: retrieval depends only
-        on the query text and the (depth-carrying) policy, so those two
-        form the key, and Tables 1, 2 and 3 run against a shared world
-        without ever retrieving the same context twice.
+        Memoized on the world's evidence cache: retrieval depends on
+        the query text, the (depth-carrying) policy and the state of
+        the index it searches, so the key is (text, policy, index
+        epoch) — Tables 1, 2 and 3 run against a shared world without
+        ever retrieving the same context twice, and index growth moves
+        every key instead of serving stale evidence.
         """
         policy = replace(self.EVIDENCE_POLICY, citations_per_answer=depth)
 
@@ -187,7 +189,8 @@ class ComparativeStudy:
 
         try:
             return self._world.evidence_cache.get_or_compute(
-                (query.text, policy), retrieve
+                (query.text, policy, self._world.search_engine.index.epoch),
+                retrieve,
             )
         except ResilienceExhausted as exc:
             # Graceful degradation: an exhausted evidence retrieval

@@ -1,0 +1,37 @@
+"""The ``python -m repro cachelint`` subcommand (shared CLI skeleton)."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.devtools.common.cli import DumpOption, ToolCLI, run_tool
+from repro.devtools.common.cli import configure_parser as _configure
+from repro.devtools.cachelint.rules import cache_rule_table
+from repro.devtools.cachelint.runner import analyze_paths
+
+__all__ = ["configure_parser", "run_cachelint"]
+
+DEFAULT_BASELINE = ".cachelint-baseline.json"
+
+CLI = ToolCLI(
+    tool="cachelint",
+    default_baseline=DEFAULT_BASELINE,
+    analyze=analyze_paths,
+    rule_table=cache_rule_table,
+    dumps=(
+        DumpOption(
+            flag="--dump-cachegraph",
+            help="emit the cache sites, epoch tables and per-function "
+            "cache traffic as deterministic JSON and exit",
+            render=lambda report: report.graph.to_json(),
+        ),
+    ),
+)
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    _configure(parser, CLI)
+
+
+def run_cachelint(args: argparse.Namespace, out=None) -> int:
+    return run_tool(args, CLI, out)

@@ -1,0 +1,125 @@
+"""cachelint orchestration: index, sites, cache graph, rules, waivers.
+
+The pipeline mirrors locklint's whole-program shape and reuses
+conclint's :class:`~repro.devtools.conclint.symbols.ProjectIndex` (built
+under the ``cachelint`` pragma namespace):
+
+1. parse every module under the analyzed roots;
+2. discover the cache sites and epoch tables
+   (:mod:`repro.devtools.cachelint.sites`);
+3. summarize every function's cache traffic
+   (:mod:`repro.devtools.cachelint.cachegraph`);
+4. evaluate CACHE001–CACHE005 and apply ``# cachelint: ignore[...]``
+   pragmas and the ``.cachelint-baseline.json`` baseline via the shared
+   :mod:`repro.devtools.common` machinery.
+
+``repro.cachewitness`` — the runtime staleness witness — is exempt by
+construction: it *implements* cache verification (its entry table is a
+fingerprint store keyed alongside the caches it audits), so it cannot
+satisfy the caller-side discipline it exists to enforce, exactly as
+``repro.lockorder`` is exempt from locklint.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools.common.baseline import apply_baseline, load_baseline
+from repro.devtools.common.findings import Finding
+from repro.devtools.common.pragmas import apply_waivers
+from repro.devtools.common.report import (
+    DEFAULT_PATHS,
+    LintReport,
+    iter_python_files,
+)
+from repro.devtools.conclint.symbols import ProjectIndex
+from repro.devtools.cachelint.cachegraph import CacheGraph, build_cachegraph
+from repro.devtools.cachelint.rules import run_rules
+from repro.devtools.cachelint.sites import build_cache_sites
+
+__all__ = ["EXEMPT_MODULES", "CacheAnalysis", "analyze_paths"]
+
+#: Module prefixes the cache-coherence rules do not apply to.
+EXEMPT_MODULES = ("repro.cachewitness",)
+
+
+class CacheAnalysis(LintReport):
+    """A lint report plus the cache graph it was computed against."""
+
+    def __init__(self, findings, files_checked: int, graph: CacheGraph) -> None:
+        super().__init__(findings=findings, files_checked=files_checked)
+        self.graph = graph
+
+
+def _exempt(module: str) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in EXEMPT_MODULES
+    )
+
+
+def analyze_paths(
+    paths: list[str | Path] | None = None,
+    baseline: str | Path | None = None,
+) -> CacheAnalysis:
+    """Analyze files/trees and apply the baseline; the main entry point."""
+    targets = list(paths) if paths else [Path(p) for p in DEFAULT_PATHS]
+    files = iter_python_files(targets)
+    index = ProjectIndex.build(files, tool="cachelint")
+
+    table = build_cache_sites(index)
+    # The witness module's entry table is implementation detail, not a
+    # project cache site.
+    def _site_module(site) -> str:
+        if site.scope == "global":
+            return site.owner
+        info = index.classes.get(site.owner)
+        return info.module if info is not None else ""
+
+    for name in [
+        name
+        for name, site in table.sites.items()
+        if _exempt(_site_module(site))
+    ]:
+        site = table.sites.pop(name)
+        table.attr_sites.pop((site.owner, site.binding), None)
+        table.global_sites.pop(site.name, None)
+
+    graph = build_cachegraph(index, table, exempt_modules=EXEMPT_MODULES)
+
+    findings: list[Finding] = []
+    for display_path in sorted(index.broken):
+        exc = index.broken[display_path]
+        findings.append(
+            Finding(
+                path=display_path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                rule="CACHE000",
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+    findings.extend(run_rules(graph))
+    findings.sort()
+
+    # Pragma waivers, per module (same two-anchor semantics as the
+    # sibling analyzers).
+    by_path = {
+        minfo.path: minfo.pragmas for minfo in index.modules.values()
+    }
+    waived: list[Finding] = []
+    for finding in findings:
+        pragmas = by_path.get(finding.path)
+        if pragmas is None:
+            waived.append(finding)
+        elif pragmas.skip_file:
+            continue
+        else:
+            waived.extend(apply_waivers([finding], pragmas))
+    findings = waived
+
+    base_dir = Path(baseline).resolve().parent if baseline is not None else None
+    findings = apply_baseline(findings, load_baseline(baseline), base_dir)
+    return CacheAnalysis(
+        findings=findings, files_checked=len(files), graph=graph
+    )

@@ -1,4 +1,5 @@
-"""Machinery shared by the in-house analyzers (detlint, conclint, locklint).
+"""Machinery shared by the in-house analyzers (detlint, conclint,
+locklint, cachelint).
 
 Extracted from detlint once conclint started borrowing it "via a tool
 parameter"; with locklint the count reached three consumers, so the
@@ -13,11 +14,14 @@ shared pieces now live here as one implementation:
 * :mod:`~repro.devtools.common.report` — :class:`LintReport` and
   deterministic file discovery;
 * :mod:`~repro.devtools.common.reporters` — text and JSON rendering;
+* :mod:`~repro.devtools.common.sarif` — SARIF 2.1.0 rendering for CI
+  and editor ingestion, one mapping for all four tools;
 * :mod:`~repro.devtools.common.context` — per-module import-alias
   resolution (:class:`ModuleContext`);
 * :mod:`~repro.devtools.common.cli` — the shared subcommand skeleton
   (``--format/--baseline/--update-baseline/--list-rules`` + per-tool
-  dump flags).
+  dump flags) and the :data:`~repro.devtools.common.cli.TOOL_COMMANDS`
+  registry that puts every analyzer on the ``python -m repro`` surface.
 
 Tool-specific rule engines stay in their own packages; nothing here
 knows any rule code.
@@ -29,7 +33,16 @@ from repro.devtools.common.baseline import (
     load_baseline,
     write_baseline,
 )
-from repro.devtools.common.cli import DumpOption, ToolCLI, configure_parser, run_tool
+from repro.devtools.common.cli import (
+    TOOL_COMMANDS,
+    DumpOption,
+    ToolCLI,
+    ToolCommand,
+    configure_parser,
+    register_tool_parsers,
+    run_tool,
+    run_tool_command,
+)
 from repro.devtools.common.context import (
     ModuleContext,
     collect_imports,
@@ -43,6 +56,7 @@ from repro.devtools.common.report import (
     iter_python_files,
 )
 from repro.devtools.common.reporters import render_json, render_text
+from repro.devtools.common.sarif import render_sarif
 
 __all__ = [
     "DEFAULT_PATHS",
@@ -51,7 +65,9 @@ __all__ = [
     "LintReport",
     "ModuleContext",
     "Pragmas",
+    "TOOL_COMMANDS",
     "ToolCLI",
+    "ToolCommand",
     "apply_baseline",
     "apply_waivers",
     "collect_imports",
@@ -61,8 +77,11 @@ __all__ = [
     "load_baseline",
     "module_name_for",
     "parse_pragmas",
+    "register_tool_parsers",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_tool",
+    "run_tool_command",
     "write_baseline",
 ]

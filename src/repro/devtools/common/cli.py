@@ -1,17 +1,26 @@
-"""One CLI skeleton for the three in-house analyzers.
+"""One CLI skeleton for the four in-house analyzers.
 
-detlint, conclint and locklint expose the same UX contract — positional
-paths, ``--format text|json``, a grandfathered-findings baseline with
-``--update-baseline``, ``--list-rules``, ``--verbose`` — plus per-tool
-dump flags (conclint's ``--dump-callgraph``, locklint's
-``--dump-lockgraph``).  Each tool declares a :class:`ToolCLI` and the
-``python -m repro`` subcommands route through :func:`configure_parser`
-and :func:`run_tool`, so the contract cannot drift between tools.
+detlint, conclint, locklint and cachelint expose the same UX contract —
+positional paths, ``--format text|json|sarif``, a grandfathered-findings
+baseline with ``--update-baseline``, ``--list-rules``, ``--verbose`` —
+plus per-tool dump flags (conclint's ``--dump-callgraph``, locklint's
+``--dump-lockgraph``, cachelint's ``--dump-cachegraph``).  Each tool
+declares a :class:`ToolCLI` and the ``python -m repro`` subcommands
+route through :func:`configure_parser` and :func:`run_tool`, so the
+contract cannot drift between tools.
+
+The :data:`TOOL_COMMANDS` registry completes the skeleton: each
+analyzer is one row (subcommand name, help line, cli module), and
+``repro.__main__`` wires every row through
+:func:`register_tool_parsers`/:func:`run_tool_command` — adding a new
+analyzer to the ``python -m repro`` surface is one registry entry, not
+a copy-pasted parser/dispatch pair.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
 import sys
 from collections.abc import Callable
 from dataclasses import dataclass
@@ -20,8 +29,18 @@ from pathlib import Path
 from repro.devtools.common.baseline import existing_reasons, write_baseline
 from repro.devtools.common.report import DEFAULT_PATHS, LintReport
 from repro.devtools.common.reporters import render_json, render_text
+from repro.devtools.common.sarif import render_sarif
 
-__all__ = ["DumpOption", "ToolCLI", "configure_parser", "run_tool"]
+__all__ = [
+    "DumpOption",
+    "TOOL_COMMANDS",
+    "ToolCLI",
+    "ToolCommand",
+    "configure_parser",
+    "register_tool_parsers",
+    "run_tool",
+    "run_tool_command",
+]
 
 
 @dataclass(frozen=True)
@@ -63,7 +82,7 @@ def configure_parser(parser: argparse.ArgumentParser, cli: ToolCLI) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -126,6 +145,71 @@ def run_tool(args: argparse.Namespace, cli: ToolCLI, out=None) -> int:
 
     if args.format == "json":
         print(render_json(report), file=out)
+    elif args.format == "sarif":
+        print(
+            render_sarif(report, tool=cli.tool, rules=cli.rule_table()),
+            file=out,
+        )
     else:
         print(render_text(report, verbose=args.verbose, tool=cli.tool), file=out)
     return report.exit_code
+
+
+# ----------------------------------------------------------------------
+# The analyzer registry: ``python -m repro <tool>`` in one row per tool.
+
+
+@dataclass(frozen=True)
+class ToolCommand:
+    """One analyzer subcommand on the ``python -m repro`` surface."""
+
+    command: str
+    help: str
+    #: Dotted path of the tool's cli module; it must expose a module
+    #: attribute ``CLI`` holding its :class:`ToolCLI`.  Loaded lazily so
+    #: ``python -m repro run`` never imports analyzer machinery.
+    module: str
+
+    def load(self) -> ToolCLI:
+        return importlib.import_module(self.module).CLI
+
+
+TOOL_COMMANDS = (
+    ToolCommand(
+        command="lint",
+        help="run the determinism linter over the library source",
+        module="repro.devtools.detlint.cli",
+    ),
+    ToolCommand(
+        command="conclint",
+        help="run the interprocedural concurrency-safety analyzer",
+        module="repro.devtools.conclint.cli",
+    ),
+    ToolCommand(
+        command="locklint",
+        help="run the lock-discipline & blocking-hazard analyzer",
+        module="repro.devtools.locklint.cli",
+    ),
+    ToolCommand(
+        command="cachelint",
+        help="run the cache-coherence & epoch-invalidation analyzer",
+        module="repro.devtools.cachelint.cli",
+    ),
+)
+
+
+def register_tool_parsers(sub) -> None:
+    """Add one subparser per registered analyzer."""
+    for command in TOOL_COMMANDS:
+        parser = sub.add_parser(command.command, help=command.help)
+        configure_parser(parser, command.load())
+
+
+def run_tool_command(
+    command: str, args: argparse.Namespace, out=None
+) -> int | None:
+    """Dispatch a registered analyzer subcommand; ``None`` if not one."""
+    for entry in TOOL_COMMANDS:
+        if entry.command == command:
+            return run_tool(args, entry.load(), out)
+    return None

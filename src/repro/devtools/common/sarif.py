@@ -1,0 +1,117 @@
+"""SARIF 2.1.0 rendering of a :class:`LintReport`, shared by all tools.
+
+SARIF (Static Analysis Results Interchange Format) is what CI systems
+and editors ingest for inline annotations.  One renderer serves all
+four analyzers — the tool name and rule table are parameters — so the
+mapping from the in-house :class:`Finding` model cannot drift between
+them:
+
+* every finding becomes a ``result`` with the rule id, message, and a
+  physical location (path, line, snippet);
+* blocking findings carry ``level: error``; waived and baselined ones
+  are demoted to ``note`` with the suppression recorded in the SARIF
+  ``suppressions`` array (kind ``inSource`` for pragmas, ``external``
+  for the baseline) — they stay visible, as debt should, without
+  failing the ingesting gate;
+* the tool's rule table becomes the driver's ``rules`` array, so a
+  viewer can show the rule title next to each result.
+
+Output is deterministic: findings arrive pre-sorted from the report and
+keys are emitted sorted, so the JSON is byte-stable for a given
+analysis — the same property the JSON reporter pins, round-tripped by
+a regression test.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.common.findings import Finding
+from repro.devtools.common.report import LintReport
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _level(finding: Finding) -> str:
+    return "note" if (finding.waived or finding.baselined) else "error"
+
+
+def _suppressions(finding: Finding) -> list[dict[str, str]]:
+    suppressions = []
+    if finding.waived:
+        suppressions.append(
+            {"kind": "inSource", "justification": "pragma waiver"}
+        )
+    if finding.baselined:
+        suppressions.append(
+            {"kind": "external", "justification": "baseline entry"}
+        )
+    return suppressions
+
+
+def _result(finding: Finding) -> dict[str, object]:
+    region: dict[str, object] = {"startLine": finding.line}
+    if finding.col:
+        region["startColumn"] = finding.col + 1
+    if finding.end_line and finding.end_line >= finding.line:
+        region["endLine"] = finding.end_line
+    if finding.snippet:
+        region["snippet"] = {"text": finding.snippet}
+    result: dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": _level(finding),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": region,
+                }
+            }
+        ],
+    }
+    suppressions = _suppressions(finding)
+    if suppressions:
+        result["suppressions"] = suppressions
+    return result
+
+
+def render_sarif(
+    report: LintReport,
+    *,
+    tool: str,
+    rules: list[tuple[str, str, str]] | None = None,
+) -> str:
+    """One SARIF run for one analyzer's report.
+
+    ``rules`` is the tool's ``(code, title, summary)`` table; rules are
+    emitted in table order so the driver metadata is stable.
+    """
+    driver: dict[str, object] = {"name": tool}
+    if rules:
+        driver["rules"] = [
+            {
+                "id": code,
+                "name": title,
+                "shortDescription": {"text": title},
+                "fullDescription": {"text": summary},
+            }
+            for code, title, summary in rules
+        ]
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {"driver": driver},
+                "results": [_result(f) for f in report.findings],
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
+from repro.cachewitness import witness_for
 from repro.entities.queries import Query
 from repro.lockorder import witness_lock
 from repro.webgraph.pages import Page
@@ -78,10 +79,18 @@ class AnswerEngine(abc.ABC):
     cache_limit: int = 4096
 
     def __init__(self) -> None:
-        self._answer_cache: dict[str, Answer] = {}
+        self._answer_cache: dict[tuple[str, int], Answer] = {}
         self._cache_lock = witness_lock("AnswerEngine._cache_lock")
         self._cache_hits = 0
         self._cache_misses = 0
+        #: Staleness witness (None unless REPRO_CACHE_WITNESS=1).  The
+        #: epoch supplier re-derives the generation the key embeds, so a
+        #: key built without the epoch component is caught on first
+        #: post-mutation read.
+        self._witness = witness_for(
+            f"AnswerEngine._answer_cache[{self.name}]",
+            epochs=self._cache_epoch,
+        )
         #: Optional ResilienceContext guarding _answer_uncached (the
         #: "engine.answer" fault site); None leaves the path untouched.
         self._resilience = None
@@ -110,6 +119,17 @@ class AnswerEngine(abc.ABC):
         # first use), keeping the memo's hit path to one dict probe.
         return query.cache_key
 
+    def _cache_epoch(self) -> int:
+        """Generation of whatever corpus state the answers derive from.
+
+        The memo key embeds this (the cache-coherence contract in
+        docs/architecture.md), so index growth moves every key instead
+        of serving answers computed against the old postings.  The base
+        engine is corpus-free and pins generation 0; engines that read
+        an index override this with the index's epoch.
+        """
+        return 0
+
     def cached_answer(self, query: Query) -> Answer | None:
         """The memoized answer for ``query``, or ``None`` — no counters.
 
@@ -120,7 +140,7 @@ class AnswerEngine(abc.ABC):
         cache = getattr(self, "_answer_cache", None)
         if cache is None:
             return None
-        return cache.get(query.cache_key)
+        return cache.get((query.cache_key, self._cache_epoch()))
 
     def answer(self, query: Query) -> Answer:
         """Answer ``query`` (memoized)."""
@@ -139,12 +159,14 @@ class AnswerEngine(abc.ABC):
         # entries — a stale read is at worst a recomputed miss.
         # Counter writes stay under the lock (the hit-path race the
         # concurrency tests pin).
-        cached = cache.get(query.cache_key)
+        key = (query.cache_key, self._cache_epoch())
+        cached = cache.get(key)
         if cached is not None:
             with self._cache_lock:
                 self._cache_hits += 1
+            if self._witness is not None:
+                self._witness.verify(key, cached)
             return cached
-        key = query.cache_key
         ctx = getattr(self, "_resilience", None)
         if ctx is not None:
             answer = ctx.call(
@@ -163,13 +185,23 @@ class AnswerEngine(abc.ABC):
         # preserves answer identity across threads.
         with self._cache_lock:
             if key not in cache:
+                inserted = True
                 self._cache_misses += 1
                 cache[key] = answer
                 while len(cache) > self.cache_limit:
                     cache.pop(next(iter(cache)))
             else:
+                inserted = False
                 self._cache_hits += 1
-            return cache[key]
+            stored = cache[key]
+        if self._witness is not None:
+            # Outside the lock: the witness has its own leaf-level lock
+            # (see CANONICAL_HIERARCHY) and raises on staleness.
+            if inserted:
+                self._witness.record(key, stored)
+            else:
+                self._witness.verify(key, stored)
+        return stored
 
     def cache_stats(self) -> tuple[int, int]:
         """(hits, misses) of this engine's memo, in this process."""
@@ -184,6 +216,9 @@ class AnswerEngine(abc.ABC):
             cache.clear()
             self._cache_hits = 0
             self._cache_misses = 0
+        witness = getattr(self, "_witness", None)
+        if witness is not None:
+            witness.clear()
 
     def answer_all(self, queries: list[Query]) -> list[Answer]:
         """Answer a workload; convenience for experiment runners."""

@@ -101,6 +101,11 @@ class GenerativeEngine(AnswerEngine):
     def policy(self) -> SourcingPolicy:
         return self._policy
 
+    def _cache_epoch(self) -> int:
+        # Retrieval-grounded answers derive from the index; key the
+        # memo on its generation so growth invalidates by key motion.
+        return self._retriever.index_epoch
+
     @property
     def llm(self) -> SimulatedLLM:
         return self._llm

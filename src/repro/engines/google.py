@@ -26,6 +26,11 @@ class GoogleEngine(AnswerEngine):
         self._search = search_engine
         self._k = results_per_query
 
+    def _cache_epoch(self) -> int:
+        # Answers are ranked result lists; they go stale the moment the
+        # index underneath grows, so the memo key tracks its epoch.
+        return self._search.index.epoch
+
     def _answer_uncached(self, query: Query) -> Answer:
         results = self._search.search(query.text, k=self._k)
         lines = [f"Results for: {query.text}", ""]

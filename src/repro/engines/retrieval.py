@@ -171,6 +171,15 @@ class Retriever:
         """The world's shared per-page sentence cache (one per engine)."""
         return self._search_engine.snippet_cache
 
+    @property
+    def index_epoch(self) -> int:
+        """Mutation generation of the index retrieval reads.
+
+        Generative engines embed this in their memo keys so cached
+        answers cannot outlive the postings they were computed from.
+        """
+        return self._index.epoch
+
     def set_resilience(self, context) -> None:
         """Attach (or detach, with ``None``) a resilience context.
 

@@ -49,6 +49,7 @@ __all__ = [
 CANONICAL_HIERARCHY = (
     "AnswerEngine._cache_lock",
     "BoundedCache._lock",
+    "CacheWitness._lock",
     "CircuitBreaker._lock",
     "EvidenceCache._lock",
     "Quarantine._lock",

@@ -21,6 +21,7 @@ from collections.abc import Callable, Hashable
 from dataclasses import dataclass
 from typing import Any
 
+from repro.cachewitness import witness_for
 from repro.lockorder import witness_lock
 
 __all__ = ["BoundedCache", "CacheCounters"]
@@ -63,7 +64,13 @@ class BoundedCache:
       threads.
     """
 
-    def __init__(self, limit: int = 8192) -> None:
+    def __init__(
+        self,
+        limit: int = 8192,
+        *,
+        site: str = "BoundedCache",
+        epochs: Callable[[], Hashable] | None = None,
+    ) -> None:
         if limit < 1:
             raise ValueError("limit must be at least 1")
         self._limit = limit
@@ -72,6 +79,10 @@ class BoundedCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        #: Staleness witness (None unless REPRO_CACHE_WITNESS=1).
+        #: ``site`` names this cache in violations; ``epochs`` supplies
+        #: the generation stamp of whatever the values derive from.
+        self._witness = witness_for(site, epochs=epochs)
 
     def __len__(self) -> int:
         return len(self._cache)
@@ -91,8 +102,13 @@ class BoundedCache:
             value = self._cache.get(key, _MISSING)
             if value is not _MISSING:
                 self._hits += 1
-                return value
-            return default
+        if value is not _MISSING:
+            # Witness checks run outside the lock (the witness has its
+            # own leaf-level lock; see CANONICAL_HIERARCHY).
+            if self._witness is not None:
+                self._witness.verify(key, value)
+            return value
+        return default
 
     def put(self, key: Hashable, value: Any) -> Any:
         """Insert ``value`` unless ``key`` arrived first; return the winner.
@@ -102,14 +118,22 @@ class BoundedCache:
         """
         with self._lock:
             if key not in self._cache:
+                inserted = True
                 self._misses += 1
                 self._cache[key] = value
                 while len(self._cache) > self._limit:
                     self._cache.pop(next(iter(self._cache)))
                     self._evictions += 1
             else:
+                inserted = False
                 self._hits += 1
-            return self._cache[key]
+            stored = self._cache[key]
+        if self._witness is not None:
+            if inserted:
+                self._witness.record(key, stored)
+            else:
+                self._witness.verify(key, stored)
+        return stored
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, computing it on first use.
@@ -139,3 +163,5 @@ class BoundedCache:
             self._hits = 0
             self._misses = 0
             self._evictions = 0
+        if self._witness is not None:
+            self._witness.clear()

@@ -123,7 +123,11 @@ class SearchEngine:
         #: tuple of :class:`SearchResult`.  Lock-guarded and bounded;
         #: only the fast path uses it (a custom :class:`SeoWeights`
         #: subclass routes through the uncached reference pipeline).
-        self._query_cache = BoundedCache(limit=self.QUERY_CACHE_LIMIT)
+        self._query_cache = BoundedCache(
+            limit=self.QUERY_CACHE_LIMIT,
+            site="SearchEngine._query_cache",
+            epochs=lambda: self._index.epoch,
+        )
         #: Per-page sentence cache shared by ``search_with_snippets``
         #: and the generative engines' evidence builders.
         self.snippet_cache = SnippetCache()

@@ -87,7 +87,11 @@ class SnippetCache:
     """
 
     def __init__(self, limit: int = 8192) -> None:
-        self._cache = BoundedCache(limit=limit)
+        # Content-addressed: the key IS the page body, so entries can
+        # never go stale under index growth and the staleness witness
+        # needs no epoch supplier (see the cache-coherence contract in
+        # docs/architecture.md).
+        self._cache = BoundedCache(limit=limit, site="SnippetCache._cache")
 
     def __len__(self) -> int:
         return len(self._cache)

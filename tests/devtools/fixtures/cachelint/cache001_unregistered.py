@@ -1,0 +1,50 @@
+"""CACHE001: a cache the world-level clear walk never reaches.
+
+``App.clear_caches()`` clears its own results memo directly, clears the
+snippet-cache primitive through its ``clear()`` method, and reaches the
+registry memo through a ``reset()`` call the walk follows by name.  The
+orphan memo is the bug: reachable from the clear-caches owner, cleared
+by nothing.
+"""
+
+
+class SnipCache:
+    """A cache primitive: its internal dict is storage, not a site."""
+
+    def __init__(self):
+        self._store_cache = {}
+
+    def get(self, key):
+        return self._store_cache.get(key)
+
+    def put(self, key, value):
+        self._store_cache[key] = value
+
+    def clear(self):
+        self._store_cache.clear()
+
+
+class Registry:
+    """Cleared transitively through the name-based ``reset`` edge."""
+
+    def __init__(self):
+        self._entries_cache = {}
+
+    def lookup(self, key):
+        return self._entries_cache.get(key)
+
+    def reset(self):
+        self._entries_cache.clear()
+
+
+class App:
+    def __init__(self, registry: Registry):
+        self.registry = registry
+        self.pages = SnipCache()
+        self._results_cache = {}
+        self._orphan_memo = {}  # expect[CACHE001]
+
+    def clear_caches(self):
+        self._results_cache.clear()
+        self.pages.clear()
+        self.registry.reset()

@@ -1,0 +1,48 @@
+"""CACHE002: an epoch-coupled memo keyed without the epoch.
+
+``EpochTable`` is epoch-bearing (its ``epoch`` property reads the
+generation counter ``add()`` bumps); ``Summaries`` holds one, so it is
+epoch-coupled.  ``summarize`` memoizes a value derived from the table
+but keys only on the argument — entries keep being served after the
+table changes.  ``summarize_keyed`` builds the same key *with* the
+epoch and is clean.
+"""
+
+
+class EpochTable:
+    def __init__(self):
+        self._rows = {}
+        self._generation = 0
+
+    @property
+    def epoch(self):
+        return self._generation
+
+    def add(self, key, value):
+        self._rows[key] = value
+        self._generation += 1
+
+    def lookup(self, key):
+        return self._rows.get(key)
+
+
+class Summaries:
+    def __init__(self, table: EpochTable):
+        self._table = table
+        self._memo_cache = {}
+        self._good_cache = {}
+
+    def summarize(self, key):
+        if key in self._memo_cache:
+            return self._memo_cache[key]
+        value = len(str(self._table.lookup(key)))
+        self._memo_cache[key] = value  # expect[CACHE002]
+        return value
+
+    def summarize_keyed(self, key):
+        cache_key = (key, self._table.epoch)
+        if cache_key in self._good_cache:
+            return self._good_cache[cache_key]
+        value = len(str(self._table.lookup(key)))
+        self._good_cache[cache_key] = value
+        return value

@@ -1,0 +1,34 @@
+"""CACHE003: mutating epoch-bearing state without bumping the counter.
+
+``DriftingIndex.add()`` is the honest mutation path — it writes the
+docs table, resets the derived memo, and bumps the epoch, so
+epoch-keyed consumers invalidate.  ``sneak_update`` writes the same
+table without the bump: every epoch-keyed cache keeps serving the
+pre-mutation view.  ``view``'s memo write is licensed because the
+bumping method resets that memo wholesale.
+"""
+
+
+class DriftingIndex:
+    def __init__(self):
+        self._docs = {}
+        self._views_memo = {}
+        self._epoch = 0
+
+    @property
+    def epoch(self):
+        return self._epoch
+
+    def add(self, doc_id, text):
+        self._docs[doc_id] = text
+        self._views_memo = {}
+        self._epoch += 1
+
+    def sneak_update(self, doc_id, text):
+        self._docs[doc_id] = text  # expect[CACHE003]
+
+    def view(self, doc_id):
+        key = (doc_id, self._epoch)
+        if key not in self._views_memo:
+            self._views_memo[key] = len(self._docs.get(doc_id, ""))
+        return self._views_memo[key]

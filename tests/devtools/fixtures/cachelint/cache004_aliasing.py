@@ -1,0 +1,31 @@
+"""CACHE004: a cached mutable value mutated after insertion.
+
+``build`` stores a list in the memo and then appends to it — every
+later hit observes the append.  ``fetch`` stores and returns the raw
+list without a defensive copy; ``decorate`` mutates what it got back,
+corrupting the cached entry from outside the class.
+"""
+
+
+class Reports:
+    def __init__(self):
+        self._report_cache = {}
+
+    def build(self, key):
+        rows = [key, key.upper()]
+        self._report_cache[key] = rows
+        rows.append("post-insert")  # expect[CACHE004]
+        return rows
+
+    def fetch(self, key):
+        if key in self._report_cache:
+            return self._report_cache[key]
+        rows = [key]
+        self._report_cache[key] = rows
+        return rows
+
+
+def decorate(reports: Reports, key):
+    rows = reports.fetch(key)
+    rows.append("decorated")  # expect[CACHE004]
+    return rows

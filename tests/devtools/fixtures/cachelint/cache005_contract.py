@@ -1,0 +1,31 @@
+"""CACHE005: bypassing the cache's counted interface.
+
+``Station`` keeps hit/miss counters next to its memo, which pins the
+contract: every insert records the miss.  ``put_uncounted`` skips the
+bump, so the hit rate drifts from reality; ``poke`` reaches into the
+storage dict from outside the class entirely.
+"""
+
+
+class Station:
+    def __init__(self):
+        self._memo = {}
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key):
+        if key in self._memo:
+            self._hits += 1
+            return self._memo[key]
+        return None
+
+    def put_counted(self, key, value):
+        self._misses += 1
+        self._memo[key] = value
+
+    def put_uncounted(self, key, value):
+        self._memo[key] = value  # expect[CACHE005]
+
+
+def poke(station: Station, value):
+    station._memo["k"] = value  # expect[CACHE005]

@@ -1,0 +1,30 @@
+"""Pragma waivers are tool-scoped: cachelint honours only its own."""
+
+
+class Meter:
+    def __init__(self):
+        self._ticks = {}
+        self._epoch = 0
+
+    @property
+    def epoch(self):
+        return self._epoch
+
+    def tick(self, key):
+        self._ticks[key] = key
+        self._epoch += 1
+
+
+class Board:
+    def __init__(self, meter: Meter):
+        self._meter = meter
+        self._waived_cache = {}
+        self._blocked_cache = {}
+
+    def waived(self, key):
+        self._waived_cache[key] = key  # cachelint: ignore[CACHE002] -- keyed epoch-free on purpose
+        return self._waived_cache[key]
+
+    def blocked(self, key):
+        self._blocked_cache[key] = key  # detlint: ignore[CACHE002] -- wrong tool, does not waive
+        return self._blocked_cache[key]

@@ -1,0 +1,50 @@
+"""A staleness bug cachelint flags statically AND the witness catches live.
+
+``SummaryBoard`` memoizes per-key summaries derived from a mutable
+``TinyTable`` but keys the memo without the table's epoch — CACHE002
+statically.  Under ``REPRO_CACHE_WITNESS=1`` the same bug trips at
+runtime: the generation-stamped witness raises
+:class:`repro.cachewitness.CacheCoherenceViolation` on the first cached
+read after ``table.add()`` bumps the epoch, because the entry outlived
+the generation it was computed under.
+"""
+
+from repro.cachewitness import witness_for
+
+
+class TinyTable:
+    def __init__(self):
+        self._rows = {}
+        self._epoch = 0
+
+    @property
+    def epoch(self):
+        return self._epoch
+
+    def add(self, key, value):
+        self._rows[key] = value
+        self._epoch += 1
+
+    def lookup(self, key):
+        return self._rows.get(key)
+
+
+class SummaryBoard:
+    def __init__(self, table: TinyTable):
+        self._table = table
+        self._summary_memo = {}
+        self._witness = witness_for(
+            "SummaryBoard._summary_memo", epochs=lambda: self._table.epoch
+        )
+
+    def summary(self, key):
+        if key in self._summary_memo:
+            cached = self._summary_memo[key]
+            if self._witness is not None:
+                self._witness.verify(key, cached)
+            return cached
+        value = "{}={!r}".format(key, self._table.lookup(key))
+        self._summary_memo[key] = value  # expect[CACHE002]
+        if self._witness is not None:
+            self._witness.record(key, value)
+        return value

@@ -1,0 +1,240 @@
+"""cachelint baseline, CLI, cache-graph dump and registry behaviour.
+
+Also home of the SARIF round-trip test (the renderer is shared by all
+four analyzers through :mod:`repro.devtools.common.sarif`, so one
+round-trip against the JSON reporter pins the mapping for everyone).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.devtools.cachelint import analyze_paths, cache_rule_table
+from repro.devtools.common.baseline import write_baseline
+from repro.devtools.common.cli import TOOL_COMMANDS
+from repro.devtools.common.reporters import render_json
+from repro.devtools.common.sarif import render_sarif
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures" / "cachelint"
+
+BAD_SOURCE = '''\
+class Table:
+    def __init__(self):
+        self._rows = {}
+        self._epoch = 0
+
+    @property
+    def epoch(self):
+        return self._epoch
+
+    def add(self, key, value):
+        self._rows[key] = value
+        self._epoch += 1
+
+
+class Memo:
+    def __init__(self, table: Table):
+        self._table = table
+        self._memo_cache = {}
+
+    def compute(self, key):
+        if key in self._memo_cache:
+            return self._memo_cache[key]
+        value = str(self._table)
+        self._memo_cache[key] = value
+        return value
+'''
+
+
+def write_bad_module(tmp_path: Path) -> Path:
+    module = tmp_path / "mod.py"
+    module.write_text(BAD_SOURCE, encoding="utf-8")
+    return module
+
+
+class TestBaseline:
+    def test_baselined_findings_stop_blocking(self, tmp_path):
+        module = write_bad_module(tmp_path)
+        baseline = tmp_path / "baseline.json"
+
+        before = analyze_paths([module], baseline=baseline)
+        assert len(before.blocking) == 1
+
+        write_baseline(before.findings, baseline)
+        after = analyze_paths([module], baseline=baseline)
+        assert after.exit_code == 0
+        assert len(after.baselined) == 1
+        assert after.blocking == []
+
+
+class TestCli:
+    def test_fixture_fails_with_text_report(self, capsys):
+        code = main(
+            ["cachelint", str(FIXTURES / "cache002_unkeyed.py"), "--no-baseline"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "CACHE002" in out
+        assert "cachelint:" in out
+
+    def test_json_format(self, capsys):
+        code = main(
+            [
+                "cachelint", str(FIXTURES / "cache005_contract.py"),
+                "--no-baseline", "--format", "json",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["blocking"] > 0
+        assert {f["rule"] for f in payload["findings"]} == {"CACHE005"}
+
+    def test_update_baseline_roundtrip(self, tmp_path, capsys):
+        module = write_bad_module(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["cachelint", str(module), "--baseline", str(baseline),
+             "--update-baseline"]
+        ) == 0
+        assert main(
+            ["cachelint", str(module), "--baseline", str(baseline)]
+        ) == 0
+        assert main(
+            ["cachelint", str(module), "--baseline", str(baseline),
+             "--no-baseline"]
+        ) == 1
+        entries = json.loads(baseline.read_text())["entries"]
+        assert entries and all(e["reason"] for e in entries)
+
+    def test_list_rules(self, capsys):
+        assert main(["cachelint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code, __, __ in cache_rule_table():
+            assert code in out
+
+    def test_dump_cachegraph_is_deterministic_json(self, capsys):
+        args = [
+            "cachelint", str(REPO_ROOT / "src" / "repro"),
+            "--no-baseline", "--dump-cachegraph",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert set(payload) == {
+            "sites", "epoch_bearing", "epoch_coupled", "primitive_classes", "ops",
+        }
+        site_names = {s["name"] for s in payload["sites"]}
+        assert "SearchEngine._query_cache" in site_names
+        assert "World.evidence_cache" in site_names
+        # Every insert into the repo's caches carries an epoch component
+        # (or the site is content-addressed and exempt from CACHE002).
+        epoch_keyed = [
+            op["epoch_keyed"]
+            for ops in payload["ops"].values()
+            for op in ops
+            if op["kind"] == "insert" and op["site"] != "SnippetCache._cache"
+        ]
+        assert epoch_keyed and all(epoch_keyed)
+
+
+class TestToolRegistry:
+    """Satellite: all four analyzers route through the one registry."""
+
+    def test_registry_lists_all_four_analyzers(self):
+        assert [c.command for c in TOOL_COMMANDS] == [
+            "lint", "conclint", "locklint", "cachelint",
+        ]
+
+    @pytest.mark.parametrize("command", [c.command for c in TOOL_COMMANDS])
+    def test_every_registered_tool_dispatches(self, command, capsys):
+        assert main([command, "--list-rules"]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_loaded_cli_tool_names_match_commands(self):
+        # The detlint subcommand is spelled "lint"; the rest match 1:1.
+        names = {c.command: c.load().tool for c in TOOL_COMMANDS}
+        assert names == {
+            "lint": "detlint",
+            "conclint": "conclint",
+            "locklint": "locklint",
+            "cachelint": "cachelint",
+        }
+
+
+class TestSarifReporter:
+    """Satellite: the shared SARIF renderer round-trips against the JSON
+    reporter — same findings, same rule ids, lines, paths and levels."""
+
+    def _report(self):
+        return analyze_paths([FIXTURES / "pragma_waivers.py"], baseline=None)
+
+    def test_round_trip_against_json_reporter(self):
+        report = self._report()
+        plain = json.loads(render_json(report))
+        sarif = json.loads(render_sarif(report, tool="cachelint",
+                                        rules=cache_rule_table()))
+        (run,) = sarif["runs"]
+        results = run["results"]
+        assert len(results) == len(plain["findings"])
+        for result, finding in zip(results, plain["findings"]):
+            assert result["ruleId"] == finding["rule"]
+            assert result["message"]["text"] == finding["message"]
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"] == finding["path"]
+            assert location["region"]["startLine"] == finding["line"]
+            expected_level = "note" if finding["waived"] else "error"
+            assert result["level"] == expected_level
+
+    def test_waived_findings_carry_in_source_suppression(self):
+        report = self._report()
+        sarif = json.loads(render_sarif(report, tool="cachelint"))
+        results = sarif["runs"][0]["results"]
+        suppressed = [r for r in results if "suppressions" in r]
+        assert len(suppressed) == 1
+        assert suppressed[0]["suppressions"][0]["kind"] == "inSource"
+
+    def test_driver_rules_come_from_the_rule_table(self):
+        report = self._report()
+        sarif = json.loads(render_sarif(report, tool="cachelint",
+                                        rules=cache_rule_table()))
+        driver = sarif["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "cachelint"
+        assert [r["id"] for r in driver["rules"]] == [
+            code for code, __, __ in cache_rule_table()
+        ]
+
+    def test_output_is_deterministic(self):
+        rendered = {
+            render_sarif(self._report(), tool="cachelint",
+                         rules=cache_rule_table())
+            for _ in range(3)
+        }
+        assert len(rendered) == 1
+        assert json.loads(next(iter(rendered)))["version"] == "2.1.0"
+
+    def test_cli_format_sarif_flag(self, capsys):
+        code = main(
+            ["cachelint", str(FIXTURES / "cache002_unkeyed.py"),
+             "--no-baseline", "--format", "sarif"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        assert payload["runs"][0]["results"][0]["ruleId"] == "CACHE002"
+
+    @pytest.mark.parametrize("command", [c.command for c in TOOL_COMMANDS])
+    def test_every_analyzer_speaks_sarif(self, command, capsys):
+        # The flag exists and renders valid SARIF for all four tools.
+        code = main([command, "--no-baseline", "--format", "sarif",
+                     str(REPO_ROOT / "src" / "repro" / "core" / "config.py")])
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert payload["version"] == "2.1.0"
+        assert isinstance(payload["runs"][0]["results"], list)
+        assert code in (0, 1)

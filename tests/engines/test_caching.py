@@ -209,3 +209,49 @@ class TestCachedAnswerPeek:
     def test_peek_on_skipped_init_engine_is_none(self):
         engine = CountingEngine.__new__(CountingEngine)
         assert engine.cached_answer(make_query(0)) is None
+
+
+class EpochedEngine(CountingEngine):
+    """A counting engine whose memo epoch is test-controlled."""
+
+    name = "Epoched"
+
+    def __init__(self):
+        super().__init__()
+        self.generation = 0
+
+    def _cache_epoch(self) -> int:
+        return self.generation
+
+
+class TestEpochKeyedMemo:
+    """The answer memo keys on ``(query key, cache epoch)``: bumping the
+    generation makes stale entries unreachable instead of served."""
+
+    def test_epoch_bump_invalidates_without_clearing(self):
+        engine = EpochedEngine()
+        query = make_query(0)
+        first = engine.answer(query)
+        assert engine.answer(query) is first
+        assert engine.calls == 1
+        engine.generation += 1
+        second = engine.answer(query)
+        assert second is not first
+        assert engine.calls == 2
+
+    def test_peek_respects_the_epoch(self):
+        engine = EpochedEngine()
+        query = make_query(0)
+        answer = engine.answer(query)
+        assert engine.cached_answer(query) is answer
+        engine.generation += 1
+        assert engine.cached_answer(query) is None
+
+    def test_base_engine_epoch_is_constant(self):
+        # Engines with no corpus-derived state keep the degenerate epoch.
+        assert CountingEngine()._cache_epoch() == 0
+
+    def test_real_engines_derive_epoch_from_the_index(self, world):
+        index_epoch = world.search_engine.index.epoch
+        assert world.engines["Google"]._cache_epoch() == index_epoch
+        assert world.engines["GPT-4o"]._cache_epoch() == index_epoch

@@ -1,0 +1,92 @@
+"""Regression pins for the epoch components in the search-tier cache keys.
+
+The cache-coherence contract (docs/architecture.md): a cache filled
+from index-derived state keys on the index epoch, so entries computed
+before a mutation become unreachable instead of being served stale —
+and content-addressed caches (the snippet cache) need no epoch because
+their key *is* the content.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.entities import build_default_catalog
+from repro.search.engine import SearchEngine
+from repro.search.snippets import SnippetCache
+from repro.webgraph.corpus import CorpusConfig, CorpusGenerator
+from repro.webgraph.domains import build_default_registry
+
+
+@pytest.fixture(scope="module")
+def corpus_bits():
+    catalog = build_default_catalog()
+    registry = build_default_registry()
+    corpus = CorpusGenerator(
+        registry, catalog, CorpusConfig(seed=11, pages_per_volume_unit=1.0)
+    ).generate()
+    return corpus, registry
+
+
+@pytest.fixture
+def engine(corpus_bits):
+    # Function-scoped: each test may mutate its engine's private index.
+    corpus, registry = corpus_bits
+    return SearchEngine(corpus, registry)
+
+
+def _clone_page(page, suffix: str):
+    return dataclasses.replace(
+        page,
+        doc_id=page.doc_id + 100_000,
+        url=page.url + suffix,
+    )
+
+
+class TestQueryCacheEpochKey:
+    def test_repeat_search_hits_at_a_fixed_epoch(self, engine):
+        first = engine.search("hybrid suv review", k=5)
+        assert engine.search("hybrid suv review", k=5) == first
+        stats = engine.query_cache_stats()
+        assert stats.hits == 1 and stats.misses == 1
+
+    def test_index_mutation_invalidates_without_clearing(
+        self, engine, corpus_bits
+    ):
+        corpus, __ = corpus_bits
+        engine.search("hybrid suv review", k=5)
+        before = engine.query_cache_stats().misses
+        engine.index.add(_clone_page(corpus.pages[0], "/epoch-copy"))
+        # Same query, new epoch: the stale entry is unreachable, the
+        # result is recomputed against the mutated index.
+        engine.search("hybrid suv review", k=5)
+        after = engine.query_cache_stats()
+        assert after.misses == before + 1
+
+    def test_epoch_tracks_the_index_mutation_counter(self, engine, corpus_bits):
+        corpus, __ = corpus_bits
+        before = engine.index.epoch
+        engine.index.add(_clone_page(corpus.pages[1], "/epoch-bump"))
+        assert engine.index.epoch == before + 1
+
+
+class TestSnippetCacheContentAddressing:
+    def test_same_body_shares_one_entry(self, corpus_bits):
+        corpus, __ = corpus_bits
+        cache = SnippetCache()
+        page = corpus.pages[0]
+        first = cache.page_sentences(page)
+        twin = _clone_page(page, "/twin")
+        assert cache.page_sentences(twin) is first
+        counters = cache.counters()
+        assert counters.hits == 1 and counters.misses == 1
+
+    def test_changed_body_is_a_new_entry(self, corpus_bits):
+        corpus, __ = corpus_bits
+        cache = SnippetCache()
+        page = corpus.pages[0]
+        first = cache.page_sentences(page)
+        changed = dataclasses.replace(page, body=page.body + " Fresh fact.")
+        second = cache.page_sentences(changed)
+        assert second is not first
+        assert cache.counters().misses == 2

@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test chaos lint detlint conclint locklint cachelint lint-baseline conclint-baseline locklint-baseline cachelint-baseline lockwitness cachewitness bench bench-paper serve serve-smoke study calibrate stability examples clean
+.PHONY: install test chaos sharded lint detlint conclint locklint cachelint lint-baseline conclint-baseline locklint-baseline cachelint-baseline lockwitness cachewitness bench bench-paper serve serve-smoke study calibrate stability examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -13,6 +13,14 @@ test:
 chaos:
 	REPRO_WORKERS=1 pytest tests/resilience/ -q
 	REPRO_WORKERS=4 pytest tests/resilience/ -q
+
+# The search/serve suites on the document-partitioned substrate plus
+# the serving gate: sharded results must be byte-identical to the
+# single-index engine at any shard count.
+sharded:
+	REPRO_SHARDS=1 REPRO_WORKERS=4 pytest tests/search/ tests/serve/ tests/engines/ -q
+	REPRO_SHARDS=4 REPRO_WORKERS=4 pytest tests/search/ tests/serve/ tests/engines/ -q
+	REPRO_SHARDS=4 python tools/serve_smoke.py
 
 lint: detlint conclint locklint cachelint
 

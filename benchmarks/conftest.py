@@ -51,6 +51,20 @@ def world():
 
 
 @pytest.fixture(scope="session")
+def corpus_10x():
+    """A 10x-density corpus for the sharded-build scaling benches."""
+    from repro.entities import build_default_catalog
+    from repro.webgraph.corpus import CorpusConfig, CorpusGenerator
+    from repro.webgraph.domains import build_default_registry
+
+    registry = build_default_registry()
+    catalog = build_default_catalog()
+    return CorpusGenerator(
+        registry, catalog, CorpusConfig(seed=7, pages_per_volume_unit=20.0)
+    ).generate()
+
+
+@pytest.fixture(scope="session")
 def study(world):
     return ComparativeStudy(world)
 
@@ -58,25 +72,32 @@ def study(world):
 def pytest_sessionfinish(session, exitstatus):
     """Record search-substrate timings into ``BENCH_search.json``.
 
-    Only the ``last_run`` section is rewritten; the checked-in
-    ``baseline`` (pre/post fast-path numbers) and ``smoke_ratios``
-    (consumed by ``tools/perf_smoke.py``) sections are preserved.
+    Substrate benches are rewritten into the ``last_run`` section; the
+    shard-scaling benches (``test_bench_sharded_build_*``) additionally
+    land in ``sharded_build.curves``, next to the ``gate`` quotient
+    ``tools/perf_smoke.py`` maintains.  The checked-in ``baseline``
+    (pre/post fast-path numbers) and ``smoke_ratios`` (consumed by
+    ``tools/perf_smoke.py``) sections are preserved.
     """
     bench_session = getattr(session.config, "_benchmarksession", None)
     if bench_session is None:
         return
     timings = {}
+    curves = {}
     for bench in bench_session.benchmarks:
         if "bench_search_substrate" not in bench.fullname or bench.has_error:
             continue
         stats = bench.stats
-        timings[bench.name] = {
+        entry = {
             "mean_ns": round(stats.mean * 1e9, 1),
             "median_ns": round(stats.median * 1e9, 1),
             "min_ns": round(stats.min * 1e9, 1),
             "stddev_ns": round(stats.stddev * 1e9, 1),
             "rounds": stats.rounds,
         }
+        timings[bench.name] = entry
+        if "sharded_build" in bench.name:
+            curves[bench.name] = entry
     if not timings:
         return
     payload = {}
@@ -89,6 +110,8 @@ def pytest_sessionfinish(session, exitstatus):
         "scale": os.environ.get("REPRO_BENCH_SCALE", "fast"),
         "benchmarks": timings,
     }
+    if curves:
+        payload.setdefault("sharded_build", {})["curves"] = curves
     BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 

@@ -89,6 +89,23 @@ def _build_parser() -> argparse.ArgumentParser:
         default="process",
         help="pool kind for --workers > 1 (default: process)",
     )
+    study_options.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="document-partition search across N shards "
+        "(default: $REPRO_SHARDS or 0 = single index; results are "
+        "identical for any value)",
+    )
+    study_options.add_argument(
+        "--corpus-scale",
+        type=float,
+        default=None,
+        metavar="X",
+        help="corpus size multiplier, e.g. 10 or 100 for the scale-out "
+        "profiles (default 1.0)",
+    )
     chaos_options = argparse.ArgumentParser(add_help=False)
     chaos_options.add_argument(
         "--chaos",
@@ -242,6 +259,10 @@ def _config(args: argparse.Namespace) -> StudyConfig:
         kwargs["workers"] = args.workers
     if getattr(args, "executor", None) is not None:
         kwargs["executor"] = args.executor
+    if getattr(args, "shards", None) is not None:
+        kwargs["search_shards"] = args.shards
+    if getattr(args, "corpus_scale", None) is not None:
+        kwargs["corpus_scale"] = args.corpus_scale
     return StudyConfig(**kwargs)
 
 

@@ -18,6 +18,7 @@ __all__ = [
     "StudyConfig",
     "WorkloadSizes",
     "cache_witness_enabled",
+    "default_search_shards",
     "default_workers",
     "lock_witness_enabled",
 ]
@@ -38,6 +39,25 @@ def default_workers() -> int:
         return max(1, int(raw)) if raw else 1
     except ValueError:
         return 1
+
+
+def default_search_shards() -> int:
+    """Search shard count from ``REPRO_SHARDS`` (defaults to 0 = unsharded).
+
+    ``0`` keeps the classic single-index :class:`repro.search.engine.
+    SearchEngine`; any positive value assembles worlds around the
+    document-partitioned :class:`repro.search.sharding.
+    ShardedSearchEngine` with that many shards.  Results are identical
+    either way (the sharded engine is float-exact equal to single-shard),
+    so like ``REPRO_WORKERS`` this is an env hook that flips a whole CI
+    leg onto the sharded path without touching call sites.  Malformed
+    values fall back to unsharded rather than failing a run.
+    """
+    raw = os.environ.get("REPRO_SHARDS", "")
+    try:
+        return max(0, int(raw)) if raw else 0
+    except ValueError:
+        return 0
 
 
 def lock_witness_enabled() -> bool:
@@ -115,6 +135,12 @@ class StudyConfig:
     workers: int = field(default_factory=default_workers, compare=False)
     #: "process" (fork-inherited world) or "thread".
     executor: str = field(default="process", compare=False)
+    #: Search shard count; 0 = the classic single-index engine, N >= 1
+    #: = the document-partitioned sharded engine.  Excluded from
+    #: equality/hash like ``workers``: the sharded engine is float-exact
+    #: equal to single-shard, so two configs differing only in shard
+    #: topology describe the same study.
+    search_shards: int = field(default_factory=default_search_shards, compare=False)
 
     def __post_init__(self) -> None:
         if self.corpus_scale <= 0:
@@ -125,3 +151,5 @@ class StudyConfig:
             raise ValueError(
                 f"executor must be one of {EXECUTORS}, got {self.executor!r}"
             )
+        if self.search_shards < 0:
+            raise ValueError("search_shards must be non-negative")

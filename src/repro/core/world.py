@@ -23,6 +23,7 @@ from repro.llm.pretraining import PretrainedKnowledge
 from repro.llm.rng import derive_seed
 from repro.resilience.context import ResilienceContext
 from repro.search.engine import SearchEngine
+from repro.search.sharding import ShardedSearchEngine
 from repro.webgraph.corpus import Corpus, CorpusConfig, CorpusGenerator
 from repro.webgraph.domains import DomainRegistry, build_default_registry
 
@@ -91,7 +92,18 @@ class World:
         default corpus generation.
         """
         started = time.perf_counter()  # detlint: ignore[DET002] -- build-log timing, not part of results
-        search_engine = SearchEngine(corpus, registry)
+        if config.search_shards:
+            # Document-partitioned substrate: float-exact equal to the
+            # single-index engine, built in parallel when workers > 1.
+            search_engine: SearchEngine = ShardedSearchEngine(
+                corpus,
+                registry,
+                shards=config.search_shards,
+                builders=config.workers,
+                build_executor=config.executor,
+            )
+        else:
+            search_engine = SearchEngine(corpus, registry)
         engines = build_engines(
             corpus, registry, catalog, search_engine, study_seed=config.seed
         )

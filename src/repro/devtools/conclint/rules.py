@@ -30,10 +30,17 @@ from repro.devtools.common.findings import Finding
 
 __all__ = ["ConcRule", "all_conc_rules", "conc_rule_table", "register_conc"]
 
-#: The one blessed module-global write: the fork handshake that ships
-#: the world to workers by inheritance.  It is set and reset strictly
-#: parent-side, around pool creation, and read-only inside workers.
-ALLOWED_GLOBAL_WRITES = frozenset({"repro.core.runner._WORKER_WORLD"})
+#: The blessed module-global writes: the fork handshakes that ship
+#: large read-only state to workers by inheritance — the study runner's
+#: world and the shard builder's page groups.  Each is set and reset
+#: strictly parent-side, around pool creation, and read-only inside
+#: workers.
+ALLOWED_GLOBAL_WRITES = frozenset(
+    {
+        "repro.core.runner._WORKER_WORLD",
+        "repro.search.sharding._BUILDER_GROUPS",
+    }
+)
 
 #: Method calls that mutate their receiver in place.
 MUTATOR_METHODS = frozenset(

@@ -14,6 +14,13 @@ from repro.search.engine import SearchEngine, SearchResult, Snippet
 from repro.search.index import InvertedIndex
 from repro.search.pagerank import pagerank
 from repro.search.seo import SeoWeights
+from repro.search.sharding import (
+    GlobalStats,
+    LocalStats,
+    ShardedIndex,
+    ShardedSearchEngine,
+    shard_of,
+)
 from repro.search.snippets import SnippetCache, extract_snippet
 from repro.search.tokenize import tokenize
 
@@ -21,13 +28,18 @@ __all__ = [
     "BM25Scorer",
     "BoundedCache",
     "CacheCounters",
+    "GlobalStats",
     "InvertedIndex",
+    "LocalStats",
     "SearchEngine",
     "SearchResult",
     "SeoWeights",
+    "ShardedIndex",
+    "ShardedSearchEngine",
     "Snippet",
     "SnippetCache",
     "extract_snippet",
     "pagerank",
+    "shard_of",
     "tokenize",
 ]

@@ -20,22 +20,59 @@ from __future__ import annotations
 
 import math
 from collections.abc import Mapping, Sequence
+from typing import Protocol
 
 from repro.search.index import InvertedIndex
 from repro.search.tokenize import tokenize
 
-__all__ = ["BM25Scorer"]
+__all__ = ["BM25Scorer", "CorpusStats"]
+
+
+class CorpusStats(Protocol):
+    """The corpus-level statistics BM25 reads: N, avgdl, and df.
+
+    An :class:`InvertedIndex` satisfies this directly (the single-shard
+    default).  A sharded deployment substitutes the merged
+    :class:`repro.search.sharding.GlobalStats` so every shard's scorer
+    sees corpus-wide numbers — the seam that makes per-shard scores
+    float-exact equal to single-shard scores.
+    """
+
+    @property
+    def doc_count(self) -> int: ...
+
+    @property
+    def average_doc_length(self) -> float: ...
+
+    def document_frequency(self, term: str) -> int: ...
 
 
 class BM25Scorer:
-    """BM25 with tunable ``k1`` (tf saturation) and ``b`` (length norm)."""
+    """BM25 with tunable ``k1`` (tf saturation) and ``b`` (length norm).
 
-    def __init__(self, index: InvertedIndex, k1: float = 1.4, b: float = 0.75) -> None:
+    ``stats`` defaults to the index itself; passing corpus-wide
+    statistics instead changes *which numbers* feed the formula, never
+    the operations or their order — so a shard scorer handed global
+    stats reproduces the single-shard floats exactly.  External stats
+    are a frozen snapshot: if the index grows, build a fresh scorer
+    from re-exchanged stats (the sharded engine epoch-tags its scorers
+    for exactly this).
+    """
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        k1: float = 1.4,
+        b: float = 0.75,
+        *,
+        stats: CorpusStats | None = None,
+    ) -> None:
         if k1 < 0:
             raise ValueError("k1 must be non-negative")
         if not 0.0 <= b <= 1.0:
             raise ValueError("b must be in [0, 1]")
         self._index = index
+        self._stats: CorpusStats = stats if stats is not None else index
         self._k1 = k1
         self._b = b
         #: ``(epoch, table)`` — per-doc ``k1 * (1 - b + b * dl/avgdl)``,
@@ -46,8 +83,8 @@ class BM25Scorer:
 
     def idf(self, term: str) -> float:
         """Non-negative inverse document frequency for an analyzed term."""
-        n = self._index.doc_count
-        df = self._index.document_frequency(term)
+        n = self._stats.doc_count
+        df = self._stats.document_frequency(term)
         return math.log(1.0 + (n - df + 0.5) / (df + 0.5))
 
     def warm(self) -> "BM25Scorer":
@@ -56,7 +93,7 @@ class BM25Scorer:
         Called at world assembly so forked pool workers inherit the table
         instead of each rebuilding it on first query.
         """
-        if self._index.average_doc_length != 0.0:
+        if self._stats.average_doc_length != 0.0:
             self._norms()
         return self
 
@@ -65,7 +102,7 @@ class BM25Scorer:
         cached = self._norm_table
         if cached is not None and cached[0] == epoch:
             return cached[1]
-        avg_len = self._index.average_doc_length
+        avg_len = self._stats.average_doc_length
         k1, b = self._k1, self._b
         dense, lengths = self._index.doc_length_table()
         table: Sequence[float] | Mapping[int, float]
@@ -88,7 +125,7 @@ class BM25Scorer:
     def score_terms(self, terms: Sequence[str]) -> dict[int, float]:
         """BM25 scores from pre-analyzed query terms (the fast path)."""
         scores: dict[int, float] = {}
-        if self._index.average_doc_length == 0.0:
+        if self._stats.average_doc_length == 0.0:
             return scores
         norms = self._norms()
         k1_plus_1 = self._k1 + 1.0
@@ -116,7 +153,7 @@ class BM25Scorer:
         do not "optimize" it — its value is being the unchanged original.
         """
         scores: dict[int, float] = {}
-        avg_len = self._index.average_doc_length
+        avg_len = self._stats.average_doc_length
         if avg_len == 0.0:
             return scores
         for term in terms:

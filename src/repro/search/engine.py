@@ -97,9 +97,12 @@ class SearchEngine:
         self._weights = weights or SeoWeights()
         self._max_per_domain = max_per_domain
 
-        self._index = InvertedIndex()
-        self._index.add_all(corpus.pages)
-        self._scorer = BM25Scorer(self._index)
+        # The index seam: subclasses (the sharded engine) override
+        # _build_index to substitute a different postings substrate;
+        # everything downstream — scorer, caches, statics — is built
+        # against whatever comes back.
+        self._index: InvertedIndex = self._build_index(corpus)
+        self._scorer: BM25Scorer = BM25Scorer(self._index)
 
         raw_rank = pagerank(corpus.link_graph)
         max_rank = max(raw_rank.values()) if raw_rank else 1.0
@@ -131,12 +134,21 @@ class SearchEngine:
         #: Per-page sentence cache shared by ``search_with_snippets``
         #: and the generative engines' evidence builders.
         self.snippet_cache = SnippetCache()
-        # Warm everything the query path reads so forked pool workers
-        # inherit built state instead of each rebuilding it (see the
-        # sharing contract in repro.core.runner).
+        self._warm()
+
+    def _build_index(self, corpus: Corpus) -> InvertedIndex:
+        """Build the postings substrate (the sharded engine overrides)."""
+        index = InvertedIndex()
+        index.add_all(corpus.pages)
+        return index
+
+    def _warm(self) -> None:
+        """Precompute everything the query path reads, so forked pool
+        workers inherit built state instead of each rebuilding it (see
+        the sharing contract in repro.core.runner)."""
         self._index.freeze()
         self._scorer.warm()
-        if type(self._weights) is SeoWeights and corpus.pages:
+        if type(self._weights) is SeoWeights and self._corpus.pages:
             self._statics()
 
     @property

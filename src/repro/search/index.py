@@ -14,6 +14,15 @@ out densely when doc ids are contiguous — which the query fast path scans
 without per-call copies or per-posting object dispatch.  A later ``add``
 thaws the snapshot and bumps :attr:`epoch`, so anything keyed on
 ``(..., epoch)`` can never serve stale results.
+
+For parallel shard builds (:mod:`repro.search.sharding`) the frozen
+arrays double as a wire format: a worker process builds an index, ships
+:meth:`frozen_parts` home (plain tuples and ints — no ``Posting`` or
+``Page`` objects cross the pipe), and the parent reconstitutes it with
+:meth:`from_frozen_parts` against its own page objects.  An index built
+that way starts *lazy* — postings lists materialize from the arrays
+only if a later :meth:`add` thaws it — so reconstruction costs O(vocab)
+dict inserts, not O(postings) object builds.
 """
 
 from __future__ import annotations
@@ -56,6 +65,20 @@ class _FrozenPostings:
 _EMPTY_ARRAYS: tuple[tuple[int, ...], tuple[int, ...]] = ((), ())
 
 
+def _length_table(
+    pages: Mapping[int, Page], doc_lengths: Mapping[int, int]
+) -> tuple[bool, Sequence[int] | Mapping[int, int]]:
+    """``(dense, lengths)`` — dense list when ids are 0..n-1, else dict."""
+    count = len(pages)
+    dense = count > 0 and min(pages) == 0 and max(pages) == count - 1
+    if dense:
+        table = [0] * count
+        for doc_id, length in doc_lengths.items():
+            table[doc_id] = length
+        return True, table
+    return False, dict(doc_lengths)
+
+
 class InvertedIndex:
     """Term -> postings mapping with document statistics.
 
@@ -70,7 +93,10 @@ class InvertedIndex:
         if title_boost < 1:
             raise ValueError("title_boost must be at least 1")
         self._title_boost = title_boost
-        self._postings: dict[str, list[Posting]] = {}
+        #: ``None`` marks a *lazy* index (built by
+        #: :meth:`from_frozen_parts`): the frozen snapshot is the
+        #: canonical store and postings lists materialize on demand.
+        self._postings: dict[str, list[Posting]] | None = {}
         self._doc_lengths: dict[int, int] = {}
         self._pages: dict[int, Page] = {}
         self._total_length = 0
@@ -79,6 +105,69 @@ class InvertedIndex:
         #: Per-term tuple views handed out by :meth:`postings`, built
         #: lazily and invalidated wholesale by :meth:`add`.
         self._views: dict[str, tuple[Posting, ...]] = {}
+
+    @classmethod
+    def from_frozen_parts(
+        cls,
+        pages: Iterable[Page],
+        arrays: dict[str, tuple[tuple[int, ...], tuple[int, ...]]],
+        doc_lengths: Mapping[int, int],
+        total_length: int,
+        title_boost: int = 3,
+    ) -> "InvertedIndex":
+        """Reconstitute an index from :meth:`frozen_parts` plus pages.
+
+        The counterpart of a worker-side build: ``arrays``,
+        ``doc_lengths`` and ``total_length`` crossed the pipe as plain
+        tuples/ints, and ``pages`` are the *parent's* page objects for
+        the same documents — so every accessor returns the parent's
+        instances, exactly as if the parent had built the index itself.
+        The result is read-equivalent to ``add_all(pages)`` (same epoch,
+        same arrays, same statistics); a later :meth:`add` thaws the
+        snapshot into ordinary postings lists first.
+        """
+        index = cls(title_boost)
+        index._pages = {page.doc_id: page for page in pages}
+        if set(doc_lengths) != set(index._pages):
+            raise ValueError("doc_lengths and pages disagree on doc ids")
+        index._doc_lengths = dict(doc_lengths)
+        index._total_length = total_length
+        index._mutations = len(index._pages)
+        dense, lengths = _length_table(index._pages, index._doc_lengths)
+        index._frozen = _FrozenPostings(
+            epoch=index._mutations, arrays=arrays, lengths=lengths, dense=dense
+        )
+        index._postings = None
+        return index
+
+    def frozen_parts(
+        self,
+    ) -> tuple[
+        dict[str, tuple[tuple[int, ...], tuple[int, ...]]],
+        dict[int, int],
+        int,
+    ]:
+        """``(arrays, doc_lengths, total_length)`` — the picklable core.
+
+        Everything :meth:`from_frozen_parts` needs except the pages:
+        plain string/int containers, cheap to ship across a process
+        pipe relative to re-tokenizing the documents.
+        """
+        return self._snapshot().arrays, dict(self._doc_lengths), self._total_length
+
+    def _thaw(self) -> dict[str, list[Posting]]:
+        """Materialize postings lists from the frozen arrays (lazy mode)."""
+        snapshot = self._frozen
+        assert snapshot is not None  # lazy mode always carries a snapshot
+        postings = {
+            term: [
+                Posting(doc_id=doc_id, term_frequency=tf)
+                for doc_id, tf in zip(doc_ids, tfs)
+            ]
+            for term, (doc_ids, tfs) in snapshot.arrays.items()
+        }
+        self._postings = postings
+        return postings
 
     def add(self, page: Page) -> None:
         """Index one page (thaws any frozen snapshot; bumps the epoch)."""
@@ -96,8 +185,9 @@ class InvertedIndex:
         self._doc_lengths[page.doc_id] = length
         self._total_length += length
         self._pages[page.doc_id] = page
+        postings = self._postings if self._postings is not None else self._thaw()
         for term, count in term_counts.items():
-            self._postings.setdefault(term, []).append(
+            postings.setdefault(term, []).append(
                 Posting(doc_id=page.doc_id, term_frequency=count)
             )
         self._mutations += 1
@@ -134,6 +224,7 @@ class InvertedIndex:
         snapshot = self._frozen
         if snapshot is not None and snapshot.epoch == self._mutations:
             return snapshot
+        assert self._postings is not None  # lazy snapshots never go stale
         arrays = {
             term: (
                 tuple(p.doc_id for p in plist),
@@ -141,16 +232,7 @@ class InvertedIndex:
             )
             for term, plist in self._postings.items()
         }
-        count = len(self._pages)
-        dense = count > 0 and min(self._pages) == 0 and max(self._pages) == count - 1
-        lengths: Sequence[int] | Mapping[int, int]
-        if dense:
-            table = [0] * count
-            for doc_id, length in self._doc_lengths.items():
-                table[doc_id] = length
-            lengths = table
-        else:
-            lengths = dict(self._doc_lengths)
+        dense, lengths = _length_table(self._pages, self._doc_lengths)
         snapshot = _FrozenPostings(
             epoch=self._mutations, arrays=arrays, lengths=lengths, dense=dense
         )
@@ -188,15 +270,26 @@ class InvertedIndex:
         """
         view = self._views.get(term)
         if view is None:
-            plist = self._postings.get(term)
-            if plist is None:
-                return ()
-            view = tuple(plist)
+            if self._postings is None:
+                doc_ids, tfs = self._snapshot().arrays.get(term, _EMPTY_ARRAYS)
+                if not doc_ids:
+                    return ()
+                view = tuple(
+                    Posting(doc_id=doc_id, term_frequency=tf)
+                    for doc_id, tf in zip(doc_ids, tfs)
+                )
+            else:
+                plist = self._postings.get(term)
+                if plist is None:
+                    return ()
+                view = tuple(plist)
             self._views[term] = view
         return view
 
     def document_frequency(self, term: str) -> int:
         """Number of documents containing ``term``."""
+        if self._postings is None:
+            return len(self._snapshot().arrays.get(term, _EMPTY_ARRAYS)[0])
         return len(self._postings.get(term, ()))
 
     def doc_length(self, doc_id: int) -> int:
@@ -217,8 +310,20 @@ class InvertedIndex:
             return 0.0
         return self._total_length / len(self._pages)
 
+    @property
+    def total_length(self) -> int:
+        """Sum of all document lengths (the avgdl numerator).
+
+        Kept as an int so sharded deployments can sum shard totals
+        without floating-point drift: the merged average equals the
+        single-index average *exactly*.
+        """
+        return self._total_length
+
     def vocabulary_size(self) -> int:
         """Number of distinct indexed terms."""
+        if self._postings is None:
+            return len(self._snapshot().arrays)
         return len(self._postings)
 
     def __contains__(self, doc_id: int) -> bool:

@@ -1,0 +1,79 @@
+"""Serving over a sharded world is byte-identical to the classic world.
+
+The serving tier never looks at the search substrate's topology: a
+world assembled with ``search_shards=N`` must drain the smoke request
+stream to the exact ``answers_digest`` the unsharded world records in
+``BENCH_serving.json`` — the digest PR'd in with the serving tier and
+gated by ``tools/serve_smoke.py``.  This pins the whole stack end to
+end: sharded scatter-gather feeds the engines the same evidence, the
+engines produce the same answers, the loop coalesces the same misses.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.core.world import World
+from repro.search.engine import SearchEngine
+from repro.search.sharding import ShardedSearchEngine
+from repro.serve import LoadProfile, answers_digest, generate_requests
+
+from tests.serve.conftest import SERVE_SIZES
+
+BENCH_SERVING = pathlib.Path(__file__).parents[2] / "BENCH_serving.json"
+
+#: The exact profile ``tools/serve_smoke.py`` records the digest under.
+SMOKE_PROFILE = LoadProfile(
+    requests=400, qps=200.0, burstiness=4.0, zipf_s=1.1, pool_size=48, seed=17
+)
+
+
+def _recorded_digest() -> str:
+    payload = json.loads(BENCH_SERVING.read_text())
+    return payload["smoke"]["answers_digest"]
+
+
+@pytest.fixture(scope="module", params=(1, 4), ids=("shards1", "shards4"))
+def sharded_world(request):
+    return World.build(
+        StudyConfig(
+            seed=13,
+            corpus_scale=0.35,
+            sizes=SERVE_SIZES,
+            search_shards=request.param,
+        )
+    )
+
+
+class TestShardedServe:
+    def test_world_assembles_sharded_engine(self, sharded_world):
+        engine = sharded_world.search_engine
+        assert isinstance(engine, ShardedSearchEngine)
+        assert engine.shard_count == sharded_world.config.search_shards
+
+    def test_unsharded_config_keeps_plain_engine(self):
+        # search_shards=0 pinned explicitly: the suite also runs under
+        # REPRO_SHARDS=1/4 legs, which would flip the default factory.
+        world = World.build(
+            StudyConfig(
+                seed=13, corpus_scale=0.2, sizes=SERVE_SIZES, search_shards=0
+            )
+        )
+        assert type(world.search_engine) is SearchEngine
+
+    def test_smoke_digest_matches_recorded_baseline(self, sharded_world):
+        """The digest recorded by the unsharded smoke gate, reproduced
+        bit-for-bit over a sharded substrate."""
+        requests = generate_requests(sharded_world.catalog, SMOKE_PROFILE)
+        results = sharded_world.serve_loop(workers=1).serve(requests)
+        assert answers_digest(results) == _recorded_digest()
+
+    def test_digest_stable_across_widths(self, sharded_world):
+        requests = generate_requests(sharded_world.catalog, SMOKE_PROFILE)
+        sharded_world.clear_caches()
+        narrow = sharded_world.serve_loop(workers=1).serve(requests)
+        sharded_world.clear_caches()
+        wide = sharded_world.serve_loop(workers=4).serve(requests)
+        assert answers_digest(narrow) == answers_digest(wide)

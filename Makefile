@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test chaos sharded lint detlint conclint locklint cachelint lint-baseline conclint-baseline locklint-baseline cachelint-baseline lockwitness cachewitness bench bench-paper serve serve-smoke study calibrate stability examples clean
+.PHONY: install test chaos sharded shard-chaos lint detlint conclint locklint cachelint lint-baseline conclint-baseline locklint-baseline cachelint-baseline lockwitness cachewitness bench bench-paper serve serve-smoke study calibrate stability examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -21,6 +21,16 @@ sharded:
 	REPRO_SHARDS=1 REPRO_WORKERS=4 pytest tests/search/ tests/serve/ tests/engines/ -q
 	REPRO_SHARDS=4 REPRO_WORKERS=4 pytest tests/search/ tests/serve/ tests/engines/ -q
 	REPRO_SHARDS=4 python tools/serve_smoke.py
+
+# Deterministic shard chaos: the search/serve suites and the serving
+# gate with a *recoverable* search.shard fault plan injected into every
+# scatter.  Faults recover inside the retry ladder, so every
+# byte-identity assertion — and the pinned serve digest — must still
+# hold.  (Unrecoverable plans are exercised by the partial-merge and
+# chaos-serve suites themselves.)
+shard-chaos:
+	REPRO_SHARDS=4 REPRO_CHAOS="search.shard:0.3:2:error" REPRO_CHAOS_SEED=5 pytest tests/search/ tests/serve/ -q
+	REPRO_SHARDS=4 REPRO_CHAOS="search.shard:0.3:2:error" REPRO_CHAOS_SEED=5 python tools/serve_smoke.py
 
 lint: detlint conclint locklint cachelint
 

@@ -99,6 +99,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "identical for any value)",
     )
     study_options.add_argument(
+        "--resident-shards",
+        action="store_true",
+        default=None,
+        help="keep each search shard resident in a supervised worker "
+        "process (requires --shards >= 1; default: $REPRO_RESIDENT_SHARDS; "
+        "results are identical, the scatter just crosses a real process "
+        "boundary)",
+    )
+    study_options.add_argument(
         "--corpus-scale",
         type=float,
         default=None,
@@ -114,6 +123,8 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SITE[@MATCH]:RATE[:FAILURES[:KIND]]",
         help="inject deterministic faults at a site (repeatable), e.g. "
         "'engine.answer:0.2:2:error' or 'engine.answer@Gemini:1.0:inf'; "
+        "an all-digit match targets one shard id at search.shard "
+        "('search.shard@3:1.0:inf:crash' kills every scatter to shard 3); "
         "implies the resilience layer even with an empty plan",
     )
     chaos_options.add_argument(
@@ -261,6 +272,8 @@ def _config(args: argparse.Namespace) -> StudyConfig:
         kwargs["executor"] = args.executor
     if getattr(args, "shards", None) is not None:
         kwargs["search_shards"] = args.shards
+    if getattr(args, "resident_shards", None) is not None:
+        kwargs["resident_shards"] = args.resident_shards
     if getattr(args, "corpus_scale", None) is not None:
         kwargs["corpus_scale"] = args.corpus_scale
     return StudyConfig(**kwargs)

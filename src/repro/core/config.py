@@ -18,6 +18,8 @@ __all__ = [
     "StudyConfig",
     "WorkloadSizes",
     "cache_witness_enabled",
+    "default_chaos_plan",
+    "default_resident_shards",
     "default_search_shards",
     "default_workers",
     "lock_witness_enabled",
@@ -58,6 +60,41 @@ def default_search_shards() -> int:
         return max(0, int(raw)) if raw else 0
     except ValueError:
         return 0
+
+
+def default_resident_shards() -> bool:
+    """Whether ``REPRO_RESIDENT_SHARDS=1`` asked for resident workers.
+
+    When on (and ``search_shards >= 1``), worlds assemble around
+    :class:`repro.search.shardexec.ResidentShardedSearchEngine`: each
+    shard's frozen index lives in a supervised long-lived worker
+    process and queries scatter over the process boundary.  Results are
+    float-identical to the in-process sharded engine, so this is
+    another env hook that flips a whole CI leg without touching call
+    sites.
+    """
+    return os.environ.get("REPRO_RESIDENT_SHARDS", "") == "1"
+
+
+def default_chaos_plan() -> tuple[str, int]:
+    """The ambient fault plan from ``REPRO_CHAOS``/``REPRO_CHAOS_SEED``.
+
+    Returns ``(plan text, plan seed)``; an empty plan text means no
+    ambient chaos.  Tooling (the serve smoke gate, the sharded
+    equivalence fixtures) uses this to run whole suites under a
+    recoverable fault plan — whose outputs must stay byte-identical to
+    clean runs — without threading CLI flags through every entry point.
+    A malformed seed falls back to 0 rather than failing the run; the
+    plan text itself is validated by :meth:`repro.resilience.FaultPlan.
+    parse` at install time, where a typo should fail loudly.
+    """
+    text = os.environ.get("REPRO_CHAOS", "").strip()
+    raw_seed = os.environ.get("REPRO_CHAOS_SEED", "")
+    try:
+        seed = int(raw_seed) if raw_seed else 0
+    except ValueError:
+        seed = 0
+    return text, seed
 
 
 def lock_witness_enabled() -> bool:
@@ -141,6 +178,14 @@ class StudyConfig:
     #: equal to single-shard, so two configs differing only in shard
     #: topology describe the same study.
     search_shards: int = field(default_factory=default_search_shards, compare=False)
+    #: Keep each shard resident in a supervised worker process
+    #: (:class:`repro.search.shardexec.ResidentShardedSearchEngine`).
+    #: Only meaningful with ``search_shards >= 1``; excluded from
+    #: equality/hash like the other execution-strategy knobs because the
+    #: resident engine is float-exact equal to the in-process one.
+    resident_shards: bool = field(
+        default_factory=default_resident_shards, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.corpus_scale <= 0:

@@ -257,6 +257,13 @@ def render_stats(study: "ComparativeStudy") -> str:
                 f"    quarantine registry: {quarantined} quarantined, "
                 f"{degraded} degraded"
             )
+        coverage = ctx.coverage.records()
+        if coverage:
+            lost = sum(len(record.missing) for record in coverage)
+            lines.append(
+                f"    shard coverage: {len(coverage)} partial scatter(s), "
+                f"{lost} shard loss(es)"
+            )
     if stats.journal_replays:
         lines.append(f"  journal: {stats.journal_replays} chunks replayed")
     return "\n".join(lines)
@@ -279,7 +286,8 @@ def render_serve_stats(snapshot) -> str:
         f"{snapshot.throughput_rps:.0f} req/s)",
         f"  outcomes: hit {outcomes['hit']}  coalesced "
         f"{outcomes['coalesced']}  miss {outcomes['miss']}  shed "
-        f"{outcomes['shed']}  degraded {outcomes['degraded']}",
+        f"{outcomes['shed']}  degraded {outcomes['degraded']}  partial "
+        f"{outcomes.get('partial', 0)}",
         f"  duplicate absorption: "
         f"{100.0 * snapshot.duplicate_absorption:.1f}% of answered "
         "requests served without a computation",

@@ -67,6 +67,7 @@ from repro.entities.queries import Query
 from repro.llm.rng import derive_seed
 from repro.lockorder import witness_lock
 from repro.resilience.context import ResilienceContext, ResilienceEvents
+from repro.resilience.coverage import ShardCoverage
 from repro.resilience.faults import ResilienceExhausted
 from repro.resilience.journal import RunJournal, journal_key
 from repro.resilience.quarantine import QuarantineRecord
@@ -178,7 +179,17 @@ class EvidenceCache:
             return cached
         ctx = self.resilience
         if ctx is not None:
+            mark = ctx.coverage.mark()
             value = ctx.call("evidence.context", key, compute)
+            if ctx.coverage.recorded_since(mark):
+                # The compute degraded shard coverage (this thread lost
+                # shards mid-retrieval): hand the partial context back
+                # uncached so the next request re-retrieves at whatever
+                # coverage the recovered shards provide.  No counters —
+                # the skip must leave hit/miss bookkeeping exactly as a
+                # clean run's, and the coverage log already tells the
+                # story.
+                return value
         else:
             value = compute()
         with self._lock:
@@ -329,6 +340,7 @@ class ChunkOutcome:
     answers: list[Answer]
     events: dict[str, int] = field(default_factory=dict)
     quarantined: tuple[QuarantineRecord, ...] = ()
+    coverage: tuple[ShardCoverage, ...] = ()
 
 
 def _execute_chunk(
@@ -365,11 +377,13 @@ def _answer_chunk(
         return _execute_chunk(world, engine_name, queries, attempt)
     events_before = ctx.events.snapshot()
     quarantine_before = len(ctx.quarantine)
+    coverage_before = len(ctx.coverage)
     answers = _execute_chunk(world, engine_name, queries, attempt)
     return ChunkOutcome(
         answers=answers,
         events=ResilienceEvents.delta(events_before, ctx.events.snapshot()),
         quarantined=ctx.quarantine.records()[quarantine_before:],
+        coverage=ctx.coverage.records()[coverage_before:],
     )
 
 
@@ -598,6 +612,7 @@ class StudyRunner:
                 if ctx is not None:
                     ctx.events.merge(raw.events)
                     ctx.quarantine.extend(raw.quarantined)
+                    ctx.coverage.extend(raw.coverage)
                 return raw.answers, True
             return raw, True
 

@@ -95,7 +95,18 @@ class World:
         if config.search_shards:
             # Document-partitioned substrate: float-exact equal to the
             # single-index engine, built in parallel when workers > 1.
-            search_engine: SearchEngine = ShardedSearchEngine(
+            # With resident_shards each shard additionally lives in a
+            # supervised long-lived worker process (same floats, a real
+            # process boundary for the scatter to survive).
+            if config.resident_shards:
+                from repro.search.shardexec import ResidentShardedSearchEngine
+
+                shard_engine_type: type[ShardedSearchEngine] = (
+                    ResidentShardedSearchEngine
+                )
+            else:
+                shard_engine_type = ShardedSearchEngine
+            search_engine: SearchEngine = shard_engine_type(
                 corpus,
                 registry,
                 shards=config.search_shards,
@@ -144,19 +155,22 @@ class World:
         """Attach a resilience context to every fault site in this world.
 
         Wires the context through the engines (``"engine.answer"``), the
-        retriever (``"retrieval.select_sources"``), and the evidence
-        cache (``"evidence.context"``); the runner picks it up from
-        ``world.resilience`` for chunk containment.  Passing ``None``
-        detaches everything, restoring the exact pre-resilience paths.
-        Forked pool workers inherit the wired world copy-on-write, so
-        fault decisions — pure functions of the plan seed — agree on
-        both sides of the fork.
+        retriever (``"retrieval.select_sources"``), the evidence cache
+        (``"evidence.context"``), and — on a sharded substrate — the
+        search engine's scatter (``"search.shard"``); the runner picks
+        it up from ``world.resilience`` for chunk containment.  Passing
+        ``None`` detaches everything, restoring the exact
+        pre-resilience paths.  Forked pool workers inherit the wired
+        world copy-on-write, so fault decisions — pure functions of the
+        plan seed — agree on both sides of the fork.
         """
         self.resilience = context
         for engine in self.engines.values():
             engine.set_resilience(context)
         self.retriever.set_resilience(context)
         self.evidence_cache.resilience = context
+        if hasattr(self.search_engine, "set_resilience"):
+            self.search_engine.set_resilience(context)
 
     def clear_resilience(self) -> None:
         """Detach the resilience layer (convenience for tests)."""

@@ -39,6 +39,7 @@ ALLOWED_GLOBAL_WRITES = frozenset(
     {
         "repro.core.runner._WORKER_WORLD",
         "repro.search.sharding._BUILDER_GROUPS",
+        "repro.search.shardexec._RESIDENT_SPEC",
     }
 )
 

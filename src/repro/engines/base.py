@@ -169,12 +169,22 @@ class AnswerEngine(abc.ABC):
             return cached
         ctx = getattr(self, "_resilience", None)
         if ctx is not None:
+            mark = ctx.coverage.mark()
             answer = ctx.call(
                 "engine.answer",
                 (self.name, query.id),
                 lambda: self._answer_uncached(query),
                 engine=self.name,
             )
+            if ctx.coverage.recorded_since(mark):
+                # The retrieval underneath lost shard coverage (this
+                # thread's scatter degraded to a partial merge): the
+                # answer is usable but must not be memoized, or the
+                # cache would replay its partial evidence long after
+                # the shard recovered.  No counters — hit/miss
+                # bookkeeping must match a clean run's, and the
+                # coverage log already carries the provenance.
+                return answer
         else:
             answer = self._answer_uncached(query)
         # Insert first, trim after: a present key is never grounds for

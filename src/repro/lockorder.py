@@ -57,6 +57,9 @@ CANONICAL_HIERARCHY = (
     "ResilienceEvents._lock",
     "RunJournal._lock",
     "ServeStats._lock",
+    "ShardCoverageLog._lock",
+    "ShardSupervisor._lock",
+    "ShardWorker._lock",
     "SimClock._lock",
     "SingleFlight._lock",
 )

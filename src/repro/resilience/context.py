@@ -19,6 +19,7 @@ from typing import Any
 
 from repro.lockorder import witness_lock
 from repro.resilience.clock import SimClock
+from repro.resilience.coverage import ShardCoverageLog
 from repro.resilience.faults import (
     FaultInjector,
     FaultPlan,
@@ -99,6 +100,7 @@ class ResilienceContext:
         self.injector = FaultInjector(self.config.plan)
         self.clock = SimClock()
         self.quarantine = Quarantine()
+        self.coverage = ShardCoverageLog()
         self.events = ResilienceEvents()
         self._breakers: dict[str, CircuitBreaker] = {}
         self._lock = witness_lock("ResilienceContext._lock")
@@ -156,6 +158,7 @@ class ResilienceContext:
         fn: Callable[[], Any],
         *,
         engine: str | None = None,
+        on_fault: Callable[[InjectedFault], None] | None = None,
     ) -> Any:
         """Run ``fn`` behind the resilience ladder at ``site``.
 
@@ -167,6 +170,13 @@ class ResilienceContext:
         ``fail_fast`` mode the first injected fault propagates raw.
         Real exceptions from ``fn`` always propagate — the substrate is
         deterministic, so a genuine bug would fail every retry anyway.
+
+        ``on_fault`` observes every injected fault before the ladder
+        reacts to it — the shard supervisor's hook for respawning a
+        crashed worker, so the *retry* of a crash-kind fault lands on a
+        fresh process.  It runs even in ``fail_fast`` mode (the
+        supervisor must stay consistent however the fault propagates),
+        and its own exceptions propagate like any real failure.
         """
         breaker = self.breaker_for(engine) if engine is not None else None
         if breaker is not None and not breaker.allow():
@@ -182,6 +192,8 @@ class ResilienceContext:
                 self.events.bump("faults_injected")
                 if fault.kind == "timeout":
                     self.events.bump("timeouts")
+                if on_fault is not None:
+                    on_fault(fault)
                 if self.config.fail_fast:
                     raise
                 delay = policy.delay(attempt)

@@ -208,6 +208,18 @@ class SearchEngine:
         self._static_table = (epoch, table)
         return table
 
+    def _rank_fast_cacheable(
+        self, terms: Sequence[str], k: int
+    ) -> tuple[list[SearchResult], bool]:
+        """Rank plus a cacheability verdict for the query cache.
+
+        The single-index path always covers the whole corpus, so its
+        pages are always cacheable.  The sharded engine overrides this
+        to report partial coverage (a shard lost past the resilience
+        ladder), which :meth:`search` must not memoize.
+        """
+        return self._rank_fast(terms, k), True
+
     def _rank_fast(self, terms: Sequence[str], k: int) -> list[SearchResult]:
         """Exact top-``k``: accumulate, bounded-heap select, crowd.
 
@@ -303,7 +315,13 @@ class SearchEngine:
         cached = self._query_cache.get(key)
         if cached is not None:
             return list(cached)
-        results = self._rank_fast(terms, k)
+        results, cacheable = self._rank_fast_cacheable(terms, k)
+        if not cacheable:
+            # A partial-coverage page (shards lost past the resilience
+            # ladder) is never memoized: the next identical query must
+            # re-scatter and regain full coverage the moment the shard
+            # recovers, not replay the degraded merge from cache.
+            return list(results)
         return list(self._query_cache.put(key, tuple(results)))
 
     def search_with_snippets(self, query: str, k: int = 10) -> list[Snippet]:

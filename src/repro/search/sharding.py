@@ -59,6 +59,9 @@ from collections.abc import Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
+from repro.resilience.coverage import ShardCoverage
+from repro.resilience.faults import InjectedFault, ResilienceExhausted
+from repro.resilience.quarantine import QuarantineRecord
 from repro.search.bm25 import BM25Scorer
 from repro.search.engine import SearchEngine, SearchResult
 from repro.search.index import InvertedIndex, Posting
@@ -568,6 +571,12 @@ class ShardedSearchEngine(SearchEngine):
         #: broadcast at that epoch; rebuilt by re-exchange when a shard
         #: grows, exactly like the scorer's norm table.
         self._shard_scorer_table: tuple[int, tuple[BM25Scorer, ...]] | None = None
+        #: The world's resilience bundle, when installed: scatters then
+        #: run behind the ``search.shard`` fault site with per-shard
+        #: breakers, and exhausted shards degrade to a partial merge
+        #: with a :class:`~repro.resilience.coverage.ShardCoverage`
+        #: record.  ``None`` keeps the scatter on the direct path.
+        self._resilience = None
         super().__init__(corpus, registry, weights, max_per_domain)
 
     @property
@@ -609,6 +618,119 @@ class ShardedSearchEngine(SearchEngine):
         self._shard_scorer_table = (epoch, scorers)
         return scorers
 
+    # ------------------------------------------------------------------
+    # Resilient scatter
+
+    def set_resilience(self, context) -> None:
+        """Install (or with ``None`` detach) the world's resilience
+        bundle; scatters then run behind the ``search.shard`` site."""
+        self._resilience = context
+
+    def _score_shard(
+        self, shard_id: int, terms: Sequence[str], scorer: BM25Scorer
+    ) -> dict[int, float]:
+        """Score one shard — the seam a resident executor overrides to
+        route the call to a long-lived worker process."""
+        return scorer.score_terms(terms)
+
+    def _shard_fault(self, shard_id: int, fault: InjectedFault) -> None:
+        """Observe one injected fault on a shard scatter.
+
+        A hook for supervised executors: the resident engine respawns
+        the shard's worker on a crash-kind fault so the retry lands on
+        a fresh process.  The in-process engine has no worker to lose.
+        """
+
+    def _scatter_scores(
+        self, terms: Sequence[str]
+    ) -> tuple[list, "ShardCoverage | None"]:
+        """Scatter scoring across shards, fault-tolerantly.
+
+        Without a resilience context this is the direct loop.  With one,
+        each shard scatter runs behind the ``search.shard`` fault site
+        — deterministic injection keyed ``(shard id, query text)``, the
+        retry ladder, a per-shard circuit breaker — and a shard that is
+        exhausted anyway contributes ``None`` instead of raising.  Lost
+        shards are recorded as a :class:`ShardCoverage` (plus a
+        ``degraded``-kind quarantine record, so report annotations pick
+        the cell up), and the caller merges the survivors.  Recoverable
+        faults recover *inside* the ladder, so they reach neither the
+        coverage log nor the merge: the scores list is then exactly the
+        direct loop's, which is what keeps recoverable chaos runs
+        byte-identical to clean ones.
+        """
+        scorers = self._shard_scorers()
+        ctx = self._resilience
+        if ctx is None:
+            return [
+                self._score_shard(shard_id, terms, scorer)
+                for shard_id, scorer in enumerate(scorers)
+            ], None
+        query = " ".join(terms)
+        shard_scores: list = []
+        missing: list[int] = []
+        reasons: list[str] = []
+        attempts = 0
+        for shard_id, scorer in enumerate(scorers):
+            try:
+                scores = ctx.call(
+                    "search.shard",
+                    (shard_id, query),
+                    lambda shard_id=shard_id, scorer=scorer: self._score_shard(
+                        shard_id, terms, scorer
+                    ),
+                    engine=f"search.shard:{shard_id}",
+                    on_fault=lambda fault, shard_id=shard_id: self._shard_fault(
+                        shard_id, fault
+                    ),
+                )
+            except ResilienceExhausted as exc:
+                shard_scores.append(None)
+                missing.append(shard_id)
+                reasons.append(exc.reason)
+                attempts = max(attempts, exc.attempts)
+            else:
+                shard_scores.append(scores)
+        if not missing:
+            return shard_scores, None
+        coverage = ShardCoverage(
+            phase=ctx.current_phase,
+            query=query,
+            total_shards=len(scorers),
+            missing=tuple(missing),
+            reasons=tuple(reasons),
+        )
+        ctx.coverage.record(coverage)
+        ctx.events.bump("shard_scatter_losses", len(missing))
+        ctx.quarantine.record(
+            QuarantineRecord(
+                phase=coverage.phase,
+                site="search.shard",
+                engine="search",
+                key=query,
+                attempts=attempts,
+                reason="; ".join(
+                    f"shard {shard_id}: {reason}"
+                    for shard_id, reason in zip(missing, reasons)
+                ),
+                kind="degraded",
+            )
+        )
+        return shard_scores, coverage
+
+    def _rank_fast_cacheable(
+        self, terms: Sequence[str], k: int
+    ) -> tuple[list[SearchResult], bool]:
+        """Scatter, merge, and report whether coverage was complete.
+
+        A partial merge (lost shards) must not enter the query cache —
+        the cache key carries the index epoch, and a recovered shard
+        does not move it, so a memoized partial page would replay its
+        ranking skew forever.
+        """
+        shard_scores, coverage = self._scatter_scores(terms)
+        return self._merge_ranked(shard_scores, k), coverage is None
+
     def _rank_fast(self, terms: Sequence[str], k: int) -> list[SearchResult]:
         """Scatter-gather top-``k``, float-exact vs the single-shard path.
 
@@ -622,9 +744,22 @@ class ShardedSearchEngine(SearchEngine):
         documents remain un-gathered, the fallback re-sorts the *full*
         union, matching the single-shard fallback order.
         """
-        shard_scores = [
-            scorer.score_terms(terms) for scorer in self._shard_scorers()
-        ]
+        shard_scores, __ = self._scatter_scores(terms)
+        return self._merge_ranked(shard_scores, k)
+
+    def _merge_ranked(
+        self, shard_scores: Sequence, k: int
+    ) -> list[SearchResult]:
+        """The exact gather half of the scatter: merge per-shard scores.
+
+        ``None`` entries (shards lost past the resilience ladder) and
+        empty dicts are skipped alike, so the merge over the survivors
+        is *by construction* the full merge of a corpus that never had
+        the lost shards' documents — float-exact for the shards that
+        answered, with ``max_bm25`` renormalized over the survivors
+        exactly as a smaller corpus would.  All shards lost means an
+        empty page, never an exception.
+        """
         if not any(shard_scores):
             return []
         max_bm25 = max(

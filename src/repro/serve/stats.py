@@ -27,7 +27,11 @@ from repro.lockorder import witness_lock
 __all__ = ["LatencySummary", "ServeSnapshot", "ServeStats", "percentile"]
 
 #: Request outcomes the loop classifies; order fixes rendering.
-OUTCOMES = ("hit", "coalesced", "miss", "shed", "degraded")
+#: ``partial`` is a served-but-degraded miss: the answer came back, but
+#: its retrieval lost shard coverage past the resilience ladder, so it
+#: was handed out uncached with :class:`~repro.resilience.coverage.
+#: ShardCoverage` provenance instead of entering the memo.
+OUTCOMES = ("hit", "coalesced", "miss", "shed", "degraded", "partial")
 
 
 def percentile(values: list[float], q: float) -> float:
@@ -88,7 +92,14 @@ class ServeSnapshot:
 
     @property
     def answered(self) -> int:
-        """Requests that produced a real (non-degraded) answer."""
+        """Requests that produced a real full-coverage answer.
+
+        ``partial`` is excluded alongside ``shed``/``degraded``: a
+        partial answer was served, but from degraded shard coverage and
+        without entering the memo, so counting it here would make
+        ``duplicate_absorption`` depend on which requests happened to
+        hit a dead shard.
+        """
         return (
             self.outcomes["hit"]
             + self.outcomes["coalesced"]

@@ -1,0 +1,156 @@
+"""The publish/retract handshake globals never outlive their fork.
+
+Both fork-inheritance handshakes — the shard builder's
+``_BUILDER_GROUPS`` and the resident executor's ``_RESIDENT_SPEC`` —
+follow one pattern: publish immediately before the fork, retract in the
+outermost ``finally``.  A leak would pin the corpus (or the shard
+indexes) in a module global for the process lifetime and hand every
+*later* fork a stale snapshot.  These are failure-injection regressions:
+whatever breaks mid-spawn (pool creation, task submission, process
+construction, ``start()`` itself), the global must come back ``None``.
+"""
+
+import pytest
+
+from repro.search import shardexec, sharding
+from repro.search.shardexec import ShardSupervisor
+from repro.search.sharding import build_shard_indexes, partition_pages
+
+from tests.search.test_sharded_equivalence import _sparse_page
+
+
+@pytest.fixture
+def groups():
+    pages = [
+        _sparse_page(i, f"Guide {i}", f"Useful advice number {i}.")
+        for i in range(8)
+    ]
+    return partition_pages(pages, 2)
+
+
+class TestBuilderGroupsRetraction:
+    def test_retracted_after_successful_build(self, groups):
+        build_shard_indexes(groups, builders=2, executor="process")
+        assert sharding._BUILDER_GROUPS is None
+
+    def test_retracted_when_pool_creation_fails(self, groups, monkeypatch):
+        def explode(*args, **kwargs):
+            raise RuntimeError("no more processes")
+
+        monkeypatch.setattr(sharding, "ProcessPoolExecutor", explode)
+        with pytest.raises(RuntimeError, match="no more processes"):
+            build_shard_indexes(groups, builders=2, executor="process")
+        assert sharding._BUILDER_GROUPS is None
+
+    def test_retracted_when_submission_fails(self, groups, monkeypatch):
+        class BrokenPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def submit(self, *args, **kwargs):
+                raise RuntimeError("pool shut down")
+
+            def shutdown(self, *args, **kwargs):
+                pass
+
+        monkeypatch.setattr(sharding, "ProcessPoolExecutor", BrokenPool)
+        with pytest.raises(RuntimeError, match="pool shut down"):
+            build_shard_indexes(groups, builders=2, executor="process")
+        assert sharding._BUILDER_GROUPS is None
+
+    def test_thread_executor_never_publishes(self, groups, monkeypatch):
+        seen = []
+
+        class SpyPool:
+            def __init__(self, *args, **kwargs):
+                seen.append(sharding._BUILDER_GROUPS)
+                raise RuntimeError("stop here")
+
+        monkeypatch.setattr(sharding, "ThreadPoolExecutor", SpyPool)
+        with pytest.raises(RuntimeError, match="stop here"):
+            build_shard_indexes(groups, builders=2, executor="thread")
+        # Threads share the address space: no handshake is needed, and
+        # none was published.
+        assert seen == [None]
+        assert sharding._BUILDER_GROUPS is None
+
+
+class TestResidentSpecRetraction:
+    @pytest.fixture
+    def spec(self, groups):
+        shards = build_shard_indexes(groups)
+        from repro.search.sharding import exchange_global_stats
+
+        return shards, exchange_global_stats(shards)
+
+    def test_retracted_after_successful_spawn(self, spec):
+        shards, stats = spec
+        sup = ShardSupervisor(shards, stats)
+        try:
+            assert shardexec._RESIDENT_SPEC is None
+            sup.respawn(0)
+            assert shardexec._RESIDENT_SPEC is None
+        finally:
+            sup.close()
+
+    def test_retracted_when_process_construction_fails(
+        self, spec, monkeypatch
+    ):
+        shards, stats = spec
+
+        class BrokenContext:
+            def Process(self, *args, **kwargs):
+                raise RuntimeError("pid exhausted")
+
+        monkeypatch.setattr(
+            shardexec.multiprocessing,
+            "get_context",
+            lambda method: BrokenContext(),
+        )
+        with pytest.raises(RuntimeError, match="pid exhausted"):
+            ShardSupervisor(shards, stats)
+        assert shardexec._RESIDENT_SPEC is None
+
+    def test_retracted_when_start_fails(self, spec, monkeypatch):
+        shards, stats = spec
+
+        class UnstartableProcess:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def start(self):
+                raise RuntimeError("fd exhausted")
+
+        class Context:
+            Process = staticmethod(
+                lambda *args, **kwargs: UnstartableProcess()
+            )
+
+        monkeypatch.setattr(
+            shardexec.multiprocessing,
+            "get_context",
+            lambda method: Context(),
+        )
+        with pytest.raises(RuntimeError, match="fd exhausted"):
+            ShardSupervisor(shards, stats)
+        assert shardexec._RESIDENT_SPEC is None
+
+    def test_published_exactly_during_spawn(self, spec, monkeypatch):
+        """The spec is visible to the forking child and nobody else."""
+        shards, stats = spec
+        observed = []
+        real_get_context = shardexec.multiprocessing.get_context
+
+        def spying_get_context(method):
+            observed.append(shardexec._RESIDENT_SPEC)
+            return real_get_context(method)
+
+        monkeypatch.setattr(
+            shardexec.multiprocessing, "get_context", spying_get_context
+        )
+        sup = ShardSupervisor(shards, stats)
+        try:
+            assert observed == [(tuple(shards), stats)] * 2
+            assert shardexec._RESIDENT_SPEC is None
+        finally:
+            sup.close()

@@ -54,6 +54,29 @@ def shard_world(request):
     return seed, catalog, registry, corpus, SearchEngine(corpus, registry)
 
 
+def _chaos_context():
+    """A resilience context from ``REPRO_CHAOS``, or ``None``.
+
+    The ``make shard-chaos`` leg sets a *recoverable* ``search.shard``
+    plan, so this whole suite re-runs with deterministic faults inside
+    every scatter — and every byte-identity assertion must still hold,
+    because recoverable faults recover inside the retry ladder.
+    """
+    from repro.core.config import default_chaos_plan
+    from repro.resilience import (
+        FaultPlan,
+        ResilienceConfig,
+        ResilienceContext,
+    )
+
+    text, seed = default_chaos_plan()
+    if not text:
+        return None
+    return ResilienceContext(
+        ResilienceConfig(plan=FaultPlan.parse(text, seed=seed))
+    )
+
+
 @pytest.fixture(scope="module")
 def sharded_engines(shard_world):
     """Memoized sharded engines, so each (shards, kwargs) builds once."""
@@ -63,9 +86,13 @@ def sharded_engines(shard_world):
     def get(shards, **kwargs):
         key = (shards, tuple(sorted(kwargs.items())))
         if key not in built:
-            built[key] = ShardedSearchEngine(
+            engine = ShardedSearchEngine(
                 corpus, registry, shards=shards, **kwargs
             )
+            ctx = _chaos_context()
+            if ctx is not None:
+                engine.set_resilience(ctx)
+            built[key] = engine
         return built[key]
 
     return get

@@ -1,0 +1,291 @@
+"""The resident shard executor: supervision, respawn, and exactness.
+
+Residency must change *where* scoring happens and nothing else: every
+float the worker fleet returns is identical to the in-process sharded
+engine's, which is identical to the single index's.  Supervision is
+deterministic bookkeeping over real processes — kills are observed by
+heartbeat, revived by generation-checked respawn, and a revived worker
+rebuilds the same frozen shard, so the retried RPC returns the floats
+the dead worker would have.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.entities import build_default_catalog
+from repro.resilience import (
+    FaultPlan,
+    ResilienceConfig,
+    ResilienceContext,
+)
+from repro.search.shardexec import (
+    ResidentShardedSearchEngine,
+    ShardSupervisor,
+    ShardWorker,
+    ShardWorkerError,
+)
+from repro.search.sharding import ShardedIndex, ShardedSearchEngine
+from repro.search.tokenize import tokenize
+from repro.webgraph.corpus import CorpusConfig, CorpusGenerator
+from repro.webgraph.domains import build_default_registry
+
+from tests.search.test_partial_merge import _expected_partial
+from tests.search.test_sharded_equivalence import _sparse_page, _tiny_corpus
+
+QUERIES = (
+    "best smartphones",
+    "smartphone camera review",
+    "where to buy running shoes deals",
+    "qwzx flibber",
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    catalog = build_default_catalog()
+    registry = build_default_registry()
+    corpus = CorpusGenerator(
+        registry, catalog, CorpusConfig(seed=11)
+    ).generate()
+    return catalog, registry, corpus
+
+
+@pytest.fixture(scope="module")
+def inproc(world):
+    __, registry, corpus = world
+    return ShardedSearchEngine(corpus, registry, shards=4)
+
+
+@pytest.fixture(scope="module")
+def resident(world):
+    __, registry, corpus = world
+    engine = ResidentShardedSearchEngine(corpus, registry, shards=4)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture
+def supervisor(inproc):
+    index = inproc.index
+    assert isinstance(index, ShardedIndex)
+    sup = ShardSupervisor(index.shards, index.global_stats())
+    yield sup
+    sup.close()
+
+
+class TestResidentEquivalence:
+    def test_search_matches_in_process_engine_exactly(
+        self, resident, inproc
+    ):
+        for query in QUERIES:
+            for k in (1, 3, 10):
+                a = resident.search(query, k)
+                b = inproc.search(query, k)
+                assert [(r.url, r.score) for r in a] == [
+                    (r.url, r.score) for r in b
+                ]
+
+    def test_fleet_shape(self, resident):
+        sup = resident.supervisor()
+        assert sup.shard_count == 4
+        assert sup.resident_processes  # fork is available on CI boxes
+        assert resident.supervisor() is sup  # same epoch, same fleet
+        health = sup.heartbeat()
+        assert health == {0: True, 1: True, 2: True, 3: True}
+        for shard_id in range(4):
+            worker = sup.worker(shard_id)
+            assert isinstance(worker, ShardWorker)
+            assert worker.process.pid != os.getpid()
+            assert worker.process.daemon
+
+
+class TestSupervision:
+    def test_scores_match_in_process_scorers(self, supervisor, inproc):
+        terms = tuple(tokenize("best smartphone camera"))
+        scorers = inproc._shard_scorers()
+        for shard_id, scorer in enumerate(scorers):
+            assert supervisor.score(shard_id, terms) == scorer.score_terms(
+                terms
+            )
+
+    def test_killed_worker_respawns_transparently(self, supervisor, inproc):
+        terms = tuple(tokenize("best smartphones"))
+        expected = inproc._shard_scorers()[2].score_terms(terms)
+        victim = supervisor.worker(2)
+        victim.process.kill()
+        victim.process.join()
+        # One scatter-side score call: pipe death -> respawn -> retry.
+        assert supervisor.score(2, terms) == expected
+        assert supervisor.generation(2) == 1
+        assert supervisor.heartbeat() == {i: True for i in range(4)}
+
+    def test_heartbeat_observes_without_respawning(self, supervisor):
+        victim = supervisor.worker(1)
+        victim.process.kill()
+        victim.process.join()
+        health = supervisor.heartbeat()
+        assert health[1] is False
+        assert all(health[i] for i in (0, 2, 3))
+        # Pure observation: the generation did not move.
+        assert supervisor.generation(1) == 0
+        assert supervisor.worker(1) is victim
+
+    def test_respawn_is_generation_checked(self, supervisor):
+        first = supervisor.respawn(0, seen_generation=0)
+        assert first.generation == 1
+        # A racing loser carrying the stale generation reuses the
+        # winner's worker instead of killing it.
+        assert supervisor.respawn(0, seen_generation=0) is first
+        assert supervisor.generation(0) == 1
+        # Unconditional respawn always advances.
+        assert supervisor.respawn(0).generation == 2
+
+    def test_close_is_idempotent_and_final(self, supervisor):
+        retired = [supervisor.worker(i) for i in range(4)]
+        supervisor.close()
+        supervisor.close()
+        assert all(not worker.alive() for worker in retired)
+        with pytest.raises(ShardWorkerError, match="supervisor closed"):
+            supervisor.respawn(0)
+
+    def test_thread_fallback_same_interface_same_floats(self, inproc):
+        index = inproc.index
+        sup = ShardSupervisor(
+            index.shards, index.global_stats(), use_processes=False
+        )
+        try:
+            assert not sup.resident_processes
+            terms = tuple(tokenize("smartphone battery"))
+            for shard_id, scorer in enumerate(inproc._shard_scorers()):
+                assert sup.score(shard_id, terms) == scorer.score_terms(terms)
+            assert sup.heartbeat() == {i: True for i in range(4)}
+            # Generations advance identically, so respawn bookkeeping
+            # (and the chaos tests that assert it) are platform-proof.
+            assert sup.respawn(3).generation == 1
+        finally:
+            sup.close()
+
+    def test_worker_error_pickles(self):
+        error = ShardWorkerError(3, "died twice in one scatter")
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.shard_id == 3
+        assert clone.reason == error.reason
+        assert str(clone) == str(error)
+
+
+class TestResidentEngineSupervision:
+    def test_forked_study_worker_scores_in_process(self, resident, inproc):
+        """A foreign pid (a forked study worker) must not speak over the
+        parent's pipes: the seam scores on the inherited scorer."""
+        terms = tuple(tokenize("best smartphones"))
+        scorer = resident._shard_scorers()[0]
+        resident.close()
+        owner = resident._owner_pid
+        try:
+            resident._owner_pid = -1  # no real pid: simulate a fork child
+            out = resident._score_shard(0, terms, scorer)
+        finally:
+            resident._owner_pid = owner
+        assert out == scorer.score_terms(terms)
+        # No fleet was (re)spawned to answer it.
+        assert resident._supervisor_table is None
+
+    def test_epoch_move_replaces_the_fleet(self):
+        pages = [
+            _sparse_page(0, "Best smartphones", "Apple and Samsung lead."),
+            _sparse_page(1, "Laptop guide", "Battery and weight balance."),
+            _sparse_page(2, "Smartphone cameras", "Quality by smartphone."),
+        ]
+        registry = build_default_registry()
+        engine = ResidentShardedSearchEngine(
+            _tiny_corpus(pages), registry, shards=2
+        )
+        try:
+            old = engine.supervisor()
+            old_worker = old.worker(0)
+            extra = _sparse_page(3, "Smartphone screens", "Bright screens.")
+            engine.index.add(extra)
+            new = engine.supervisor()
+            assert new is not old
+            assert not old_worker.alive()  # stale fleet was stopped
+            results = engine.search("smartphone screens", 4)
+            assert any(r.page is extra for r in results)
+        finally:
+            engine.close()
+
+    def test_engine_close_stops_fleet_and_respawns_on_demand(self, resident):
+        sup = resident.supervisor()
+        workers = [sup.worker(i) for i in range(4)]
+        resident.close()
+        assert all(not w.alive() for w in workers)
+        assert resident._supervisor_table is None
+        # Next query forks a fresh fleet lazily.
+        assert resident.search("best smartphones", 3)
+        assert resident.supervisor() is not sup
+
+
+class TestResidentChaos:
+    def test_recoverable_crash_respawns_and_stays_byte_identical(
+        self, resident, inproc
+    ):
+        """Every scatter crashes once: the hook respawns the worker, the
+        ladder retries onto the fresh process, and the results are
+        byte-identical to a clean run — the acceptance contract."""
+        ctx = ResilienceContext(
+            ResilienceConfig(
+                plan=FaultPlan.parse("search.shard:1.0:1:crash", seed=0)
+            )
+        )
+        resident.clear_query_cache()
+        resident.set_resilience(ctx)
+        try:
+            for query in QUERIES:
+                a = resident.search(query, 10)
+                b = inproc.search(query, 10)
+                assert [(r.url, r.score) for r in a] == [
+                    (r.url, r.score) for r in b
+                ]
+        finally:
+            resident.set_resilience(None)
+        assert ctx.coverage.count() == 0  # recovered inside the ladder
+        assert ctx.events.get("shard_worker_respawns") == len(QUERIES) * 4
+        assert ctx.events.get("faults_injected") == len(QUERIES) * 4
+        sup = resident.supervisor()
+        assert all(sup.generation(i) >= 1 for i in range(4))
+        assert sup.heartbeat() == {i: True for i in range(4)}
+
+    def test_unrecoverable_shard_death_degrades_then_recovers(
+        self, resident, inproc
+    ):
+        """Shard 3 dies for good: partial results float-exact equal to
+        the surviving-shard merge, coverage populated — and once the
+        plan lifts, the respawned worker serves full coverage again."""
+        ctx = ResilienceContext(
+            ResilienceConfig(
+                plan=FaultPlan.parse("search.shard@3:1.0:inf:crash", seed=0)
+            )
+        )
+        resident.clear_query_cache()
+        resident.set_resilience(ctx)
+        query = "best smartphones"
+        try:
+            partial = resident.search(query, 10)
+            assert [
+                (r.url, r.score) for r in partial
+            ] == _expected_partial(resident, query, {3}, 10)
+            (record,) = ctx.coverage.records()
+            assert record.missing == (3,)
+            assert record.total_shards == 4
+            assert record.reasons == ("crash fault persisted",)
+        finally:
+            resident.set_resilience(None)
+        sup = resident.supervisor()
+        assert sup.generation(3) >= 1  # crash hook respawned it
+        assert sup.heartbeat() == {i: True for i in range(4)}
+        recovered = resident.search(query, 10)
+        full = inproc.search(query, 10)
+        assert [(r.url, r.score) for r in recovered] == [
+            (r.url, r.score) for r in full
+        ]

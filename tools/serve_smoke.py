@@ -20,6 +20,15 @@ at two worker widths and checks two kinds of baseline recorded in the
     generous ceiling — the point is to catch a coalescing bug that
     makes followers serialize behind work they should have shared.
 
+Chaos leg: with ``REPRO_CHAOS`` set (see ``repro.core.config.
+default_chaos_plan``), the stream is served with that fault plan
+installed — ``make shard-chaos`` runs this gate under a *recoverable*
+``search.shard`` plan, and every exact gate must still pass: recoverable
+faults recover inside the retry ladder, so the digest and the
+absorption rate are byte-identical to the clean run.  (Unrecoverable
+plans are for the pytest suites; here they would — correctly — fail the
+digest gate.)
+
 Usage:
     python tools/serve_smoke.py            # gate against recorded baselines
     python tools/serve_smoke.py --update   # re-record after a deliberate
@@ -91,11 +100,29 @@ def _best_of(fn) -> float:
     return best
 
 
+def _install_chaos(world: World) -> None:
+    """Wire the ``REPRO_CHAOS`` plan into the world, when one is set."""
+    from repro.core.config import default_chaos_plan
+    from repro.resilience import (
+        FaultPlan,
+        ResilienceConfig,
+        ResilienceContext,
+    )
+
+    text, seed = default_chaos_plan()
+    if not text:
+        return
+    plan = FaultPlan.parse(text, seed=seed)
+    world.install_resilience(ResilienceContext(ResilienceConfig(plan=plan)))
+    print(f"chaos plan installed: {text!r} (seed {seed})")
+
+
 def measure() -> dict:
     """Serve the smoke stream at every width; return live observations."""
     world = World.build(
         StudyConfig(seed=13, corpus_scale=0.35, sizes=SMOKE_SIZES)
     )
+    _install_chaos(world)
     requests = generate_requests(world.catalog, PROFILE)
     distinct = len({(r.engine, r.query.cache_key) for r in requests})
 
